@@ -1,0 +1,25 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+section.  The workload is a reduced Airfoil mesh (the machine model makes the
+relative comparisons insensitive to the absolute mesh size); the thread sweep
+matches the paper's x-axis with hyper-threading past 16 threads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import AirfoilWorkload
+
+#: thread counts used by the figure sweeps (HT region starts after 16)
+SWEEP_THREADS = (1, 2, 4, 8, 16, 32)
+
+#: reduced Airfoil workload shared by all benchmarks
+BENCH_WORKLOAD = AirfoilWorkload(nx=150, ny=100, niter=1)
+
+
+@pytest.fixture(scope="session")
+def bench_workload() -> AirfoilWorkload:
+    """The Airfoil workload used by every figure benchmark."""
+    return BENCH_WORKLOAD

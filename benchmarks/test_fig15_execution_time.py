@@ -1,0 +1,32 @@
+"""Figure 15: execution time, OpenMP baseline vs HPX dataflow."""
+
+from __future__ import annotations
+
+from conftest import BENCH_WORKLOAD, SWEEP_THREADS
+
+from repro.bench.figures import figure15_execution_time
+from repro.bench.report import format_series_table
+
+
+def test_fig15_execution_time(benchmark):
+    """Dataflow matches OpenMP at 1 thread and is clearly faster at 32."""
+    figure = benchmark.pedantic(
+        lambda: figure15_execution_time(threads=SWEEP_THREADS, workload=BENCH_WORKLOAD),
+        rounds=1, iterations=1,
+    )
+    omp = figure.series["openmp"]
+    hpx = figure.series["dataflow"]
+
+    print("\nFigure 15 — Airfoil execution time (ms)\n")
+    print(format_series_table(figure.series))
+
+    # Paper: "HPX and OpenMP has approximately the same performance on 1 thread"
+    one_thread_gap = abs(hpx.times[1] - omp.times[1]) / omp.times[1]
+    assert one_thread_gap < 0.10
+
+    # Paper: parallel performance improves with dataflow at higher thread counts.
+    assert hpx.times[32] < omp.times[32]
+    improvement_32 = hpx.improvement_over(omp, 32)
+    assert 0.10 <= improvement_32 <= 0.60
+    # The advantage grows with the thread count.
+    assert improvement_32 > hpx.improvement_over(omp, 4)

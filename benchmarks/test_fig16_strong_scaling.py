@@ -1,0 +1,33 @@
+"""Figure 16: strong-scaling speedup, OpenMP baseline vs HPX dataflow."""
+
+from __future__ import annotations
+
+from conftest import BENCH_WORKLOAD, SWEEP_THREADS
+
+from repro.bench.figures import figure16_strong_scaling
+from repro.bench.report import format_table
+
+
+def test_fig16_strong_scaling(benchmark):
+    """Dataflow scales further than the barrier-synchronised OpenMP code."""
+    figure = benchmark.pedantic(
+        lambda: figure16_strong_scaling(threads=SWEEP_THREADS, workload=BENCH_WORKLOAD),
+        rounds=1, iterations=1,
+    )
+    speedups = figure.extra["speedups"]
+    omp, hpx = speedups["openmp"], speedups["dataflow"]
+
+    print("\nFigure 16 — Airfoil strong scaling (speedup vs 1 thread)\n")
+    print(format_table(
+        ["threads", "openmp", "dataflow"],
+        [[t, f"{omp[t]:.2f}", f"{hpx[t]:.2f}"] for t in sorted(omp)],
+    ))
+
+    # Both scale, dataflow scales better (paper: ~33% better at high threads).
+    assert omp[16] > 4.0 and hpx[16] > 4.0
+    assert hpx[32] > omp[32]
+    relative_gain = (hpx[32] - omp[32]) / omp[32]
+    assert 0.10 <= relative_gain <= 0.80
+    # Speedups are monotone non-decreasing over the sweep for dataflow.
+    ordered = [hpx[t] for t in sorted(hpx)]
+    assert all(b >= a * 0.98 for a, b in zip(ordered, ordered[1:]))

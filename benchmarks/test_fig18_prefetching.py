@@ -1,0 +1,29 @@
+"""Figure 18: dataflow with vs without the HPX data prefetcher."""
+
+from __future__ import annotations
+
+from conftest import BENCH_WORKLOAD, SWEEP_THREADS
+
+from repro.bench.figures import figure18_prefetching
+from repro.bench.report import format_series_table
+
+
+def test_fig18_prefetching(benchmark):
+    """Prefetching the next iteration's containers hides memory latency."""
+    figure = benchmark.pedantic(
+        lambda: figure18_prefetching(threads=SWEEP_THREADS, workload=BENCH_WORKLOAD),
+        rounds=1, iterations=1,
+    )
+    base = figure.series["dataflow"]
+    prefetch = figure.series["dataflow+prefetch"]
+
+    print("\nFigure 18 — dataflow ± prefetching (ms)\n")
+    print(format_series_table(figure.series))
+
+    # Paper: "the parallel performance of for_each is improved by an average
+    # of 45%".  Require a substantial improvement across the sweep.
+    gains = [prefetch.improvement_over(base, t) for t in SWEEP_THREADS]
+    average_gain = sum(gains) / len(gains)
+    assert average_gain > 0.25
+    assert all(gain > 0.10 for gain in gains)
+    assert prefetch.times[32] < base.times[32]

@@ -1,0 +1,34 @@
+"""Figure 20: transfer rate as a function of the prefetch distance factor."""
+
+from __future__ import annotations
+
+from conftest import BENCH_WORKLOAD
+
+from repro.bench.figures import figure20_prefetch_distance
+from repro.bench.report import format_bandwidth_table
+
+DISTANCES = (1, 2, 5, 10, 15, 25, 50, 100)
+
+
+def test_fig20_prefetch_distance_sweep(benchmark):
+    """Very small and very large distances lose; the optimum sits near 15."""
+    figure = benchmark.pedantic(
+        lambda: figure20_prefetch_distance(
+            distances=DISTANCES, num_threads=32, workload=BENCH_WORKLOAD
+        ),
+        rounds=1, iterations=1,
+    )
+    sweep = figure.bandwidth["prefetch_distance"]
+
+    print("\nFigure 20 — transfer rate vs prefetch_distance_factor (GB/s, 32 threads)\n")
+    print(format_bandwidth_table({"prefetching iterator": sweep}))
+
+    best_distance, best_bandwidth = sweep.best()
+    # Paper: "prefetch_distance_factor = 15 ... improves the parallel
+    # performance significantly"; optimum in the moderate-distance region.
+    assert 5 <= best_distance <= 25
+    # Too-small distances cannot hide the latency...
+    assert sweep.values[1] < best_bandwidth
+    # ... and very large distances collapse (evictions + useless prefetches).
+    assert sweep.values[100] < best_bandwidth
+    assert figure.extra["best_distance"] == best_distance

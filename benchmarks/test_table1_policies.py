@@ -1,0 +1,28 @@
+"""Table I: execution policies implemented by the runtime."""
+
+from __future__ import annotations
+
+from repro.bench.figures import table1_execution_policies
+from repro.bench.report import format_table
+from repro.runtime import execution_policy_table
+
+
+def test_table1_execution_policies(benchmark):
+    """Regenerate Table I and check it lists exactly the paper's policies."""
+    table = benchmark(execution_policy_table)
+    rows = {row["policy"]: row for row in table}
+    assert set(rows) == {"seq", "par", "par_vec", "seq(task)", "par(task)"}
+    assert rows["par(task)"]["implemented_by"] == "HPX"
+    assert rows["seq(task)"]["implemented_by"] == "HPX"
+    assert rows["par_vec"]["implemented_by"] == "Parallelism TS"
+    print("\nTable I — execution policies\n")
+    print(format_table(
+        ["Policy", "Description", "Implemented by"],
+        [[r["policy"], r["description"], r["implemented_by"]] for r in table],
+    ))
+
+
+def test_table1_matches_bench_module(benchmark):
+    """The bench-level helper returns the same table."""
+    table = benchmark(table1_execution_policies)
+    assert len(table) == 5

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Source-to-source translation demo (Section II-B of the paper).
+
+Feeds a C-style OP2 application (the Jacobi example, written the way an OP2
+user would write ``jac.cpp``) through the translator, prints the discovered
+loop sites and inter-loop dependences, generates both the OpenMP-style and
+the HPX-style wrapper modules, and finally *executes* the generated HPX
+module against real OP2 data to show the pipeline runs end to end.
+
+Run with:  python examples/translator_demo.py
+"""
+
+from __future__ import annotations
+
+import types
+
+import numpy as np
+
+from repro.apps.jacobi import RES_KERNEL, UPDATE_KERNEL, build_ring_problem
+from repro.translator import op2_translate
+
+APPLICATION_SOURCE = """
+/* jac.cpp -- edge-based Jacobi relaxation written against the OP2 C API */
+
+op_set nodes;  op_decl_set(nnode, nodes, "nodes");
+op_set edges;  op_decl_set(nedge, edges, "edges");
+op_map ppedge; op_decl_map(edges, nodes, 2, edge_map, ppedge, "ppedge");
+op_dat p_A;    op_decl_dat(edges, 1, "double", A,  p_A,  "p_A");
+op_dat p_u;    op_decl_dat(nodes, 1, "double", u,  p_u,  "p_u");
+op_dat p_du;   op_decl_dat(nodes, 1, "double", du, p_du, "p_du");
+op_dat p_r;    op_decl_dat(nodes, 1, "double", r,  p_r,  "p_r");
+
+op_par_loop(res, "res", edges,
+    op_arg_dat(p_A,  -1, OP_ID,  1, "double", OP_READ),
+    op_arg_dat(p_u,   0, ppedge, 1, "double", OP_READ),
+    op_arg_dat(p_du,  1, ppedge, 1, "double", OP_INC));
+
+op_par_loop(jac_update, "jac_update", nodes,
+    op_arg_dat(p_r,  -1, OP_ID, 1, "double", OP_READ),
+    op_arg_dat(p_du, -1, OP_ID, 1, "double", OP_RW),
+    op_arg_dat(p_u,  -1, OP_ID, 1, "double", OP_RW),
+    op_arg_gbl(&u_sum, 1, "double", OP_INC),
+    op_arg_gbl(&u_max, 1, "double", OP_MAX));
+"""
+
+
+def main() -> None:
+    result = op2_translate(APPLICATION_SOURCE, source_name="jac.cpp")
+
+    print("loop sites found:")
+    for site in result.program.loops:
+        kind = "indirect/INC" if site.has_indirect_increment else "direct"
+        print(f"  {site.name:12s} over {site.iteration_set:6s} ({kind}, {len(site.args)} args)")
+
+    print("\ninter-loop dependences (what the HPX backend may interleave around):")
+    for edge in result.dependences.edges:
+        producer = result.program.loops[edge.producer].name
+        consumer = result.program.loops[edge.consumer].name
+        print(f"  {producer} -> {consumer}   [{edge.kind.upper()} on {edge.dat}]")
+
+    hpx_source = result.module_for("hpx")
+    print(f"\ngenerated HPX module: {len(hpx_source.splitlines())} lines "
+          f"(OpenMP flavour: {len(result.module_for('openmp').splitlines())} lines)")
+
+    # Execute the generated module against real data.
+    module = types.ModuleType("jac_hpx_kernels")
+    exec(compile(hpx_source, "jac_hpx_kernels.py", "exec"), module.__dict__)
+
+    problem = build_ring_problem(2000)
+    u_sum = np.zeros(1)
+    u_max = np.full(1, -np.inf)
+    futures, report = module.run_program(
+        kernels={"res": RES_KERNEL, "jac_update": UPDATE_KERNEL},
+        sets={"edges": problem.edges, "nodes": problem.nodes},
+        dats={
+            "p_A": problem.p_A,
+            "p_u": problem.p_u,
+            "p_du": problem.p_du,
+            "p_r": problem.p_r,
+            "u_sum": u_sum,
+            "u_max": u_max,
+        },
+        maps={"ppedge": problem.ppedge},
+        num_threads=16,
+    )
+    print(f"\nexecuted the generated HPX module: {report.loops_executed} loops, "
+          f"simulated runtime {report.makespan_seconds * 1e6:.1f} us, "
+          f"|u|^2 = {u_sum[0]:.4f}, max(u) = {u_max[0]:.4f}")
+    print("output futures:", {name: type(f).__name__ for name, f in futures.items()})
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that editable installs work on machines without the ``wheel`` package
+(no-network environments), via ``pip install -e . --no-build-isolation
+--no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

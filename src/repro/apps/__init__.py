@@ -1,0 +1,15 @@
+"""Applications built on the OP2 API.
+
+* :mod:`repro.apps.airfoil` -- the paper's evaluation workload: a
+  finite-volume CFD solver on an unstructured quad mesh with five parallel
+  loops (``save_soln``, ``adt_calc``, ``res_calc``, ``bres_calc``,
+  ``update``).
+* :mod:`repro.apps.jacobi` -- the small ``jac`` example from the OP2
+  distribution (edge-based Jacobi relaxation), used as a second scenario.
+* :mod:`repro.apps.aero` -- a direct/indirect mixed electrostatics-style
+  example, used as the third scenario and by several integration tests.
+"""
+
+from repro.apps import aero, airfoil, jacobi
+
+__all__ = ["airfoil", "jacobi", "aero"]

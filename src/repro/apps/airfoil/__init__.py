@@ -1,0 +1,40 @@
+"""The Airfoil CFD application (the paper's evaluation workload).
+
+Airfoil is "a standard unstructured mesh finite volume computational fluid
+dynamics (CFD) code ... for the turbomachinery simulation" consisting of five
+parallel loops executed every time step: ``save_soln``, ``adt_calc``,
+``res_calc``, ``bres_calc`` and ``update``.  This package provides
+
+* :mod:`repro.apps.airfoil.mesh` -- a scalable generator for the channel quad
+  mesh the solver runs on (the paper's mesh has ~720 K nodes and ~1.5 M
+  edges; the generator reproduces the same topology family at any size),
+* :mod:`repro.apps.airfoil.kernels` -- the five user kernels in both
+  elemental and NumPy-vectorised form, and
+* :mod:`repro.apps.airfoil.airfoil` -- the driver that declares the OP2
+  sets/maps/dats and runs the time loop on whatever backend is active.
+"""
+
+from repro.apps.airfoil.airfoil import AirfoilProblem, AirfoilResult, run_airfoil
+from repro.apps.airfoil.kernels import (
+    ADT_CALC,
+    BRES_CALC,
+    GAS_CONSTANTS,
+    RES_CALC,
+    SAVE_SOLN,
+    UPDATE,
+)
+from repro.apps.airfoil.mesh import AirfoilMesh, generate_mesh
+
+__all__ = [
+    "AirfoilMesh",
+    "generate_mesh",
+    "AirfoilProblem",
+    "AirfoilResult",
+    "run_airfoil",
+    "SAVE_SOLN",
+    "ADT_CALC",
+    "RES_CALC",
+    "BRES_CALC",
+    "UPDATE",
+    "GAS_CONSTANTS",
+]

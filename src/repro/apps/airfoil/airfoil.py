@@ -1,0 +1,182 @@
+"""The Airfoil driver.
+
+Mirrors ``Airfoil.cpp`` from the OP2 distribution: after declaring the mesh,
+each time step runs ``save_soln`` once and then two Runge-Kutta-like passes of
+``adt_calc``, ``res_calc``, ``bres_calc`` and ``update`` (Fig. 2 of the
+paper), with the residual RMS reduced in ``update``.
+
+The driver is backend-agnostic: run it inside ``active_context(...)`` with
+the serial, OpenMP or HPX context.  Under the HPX context every
+``op_par_loop`` returns a future of its output dat; ``chain_futures=True``
+demonstrates the paper's Fig. 9/10 style where the returned future is fed
+into the next loop's ``op_arg_dat``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.apps.airfoil.kernels import ADT_CALC, BRES_CALC, RES_CALC, SAVE_SOLN, UPDATE
+from repro.apps.airfoil.mesh import AirfoilMesh, generate_mesh
+from repro.errors import MeshError
+from repro.op2.access import OP_ID, OP_INC, OP_READ, OP_RW, OP_WRITE
+from repro.op2.args import op_arg_dat, op_arg_gbl
+from repro.op2.par_loop import op_par_loop
+
+__all__ = ["AirfoilProblem", "AirfoilResult", "run_airfoil"]
+
+
+@dataclass
+class AirfoilProblem:
+    """A declared Airfoil problem instance."""
+
+    mesh: AirfoilMesh
+    niter: int = 5
+    rk_steps: int = 2
+    chain_futures: bool = False
+
+    def __post_init__(self) -> None:
+        if self.niter <= 0:
+            raise MeshError("niter must be positive")
+        if self.rk_steps <= 0:
+            raise MeshError("rk_steps must be positive")
+        if not self.mesh.is_declared:
+            self.mesh.declare()
+
+
+@dataclass
+class AirfoilResult:
+    """Outcome of an Airfoil run."""
+
+    q: np.ndarray
+    rms_history: list[float] = field(default_factory=list)
+    loops_issued: int = 0
+
+    @property
+    def final_rms(self) -> float:
+        """Residual RMS after the last iteration (0.0 if never computed)."""
+        return self.rms_history[-1] if self.rms_history else 0.0
+
+
+def _time_step(problem: AirfoilProblem, rms: np.ndarray) -> int:
+    """Issue the loops of one time step; returns how many loops were issued."""
+    mesh = problem.mesh
+    assert mesh.cells is not None  # declared in __post_init__
+    loops = 0
+
+    # save old flow solution: p_qold <- p_q
+    qold_future = op_par_loop(
+        SAVE_SOLN,
+        "save_soln",
+        mesh.cells,
+        op_arg_dat(mesh.p_q, -1, OP_ID, 4, "double", OP_READ),
+        op_arg_dat(mesh.p_qold, -1, OP_ID, 4, "double", OP_WRITE),
+    )
+    loops += 1
+
+    for _rk in range(problem.rk_steps):
+        # local area/timestep
+        op_par_loop(
+            ADT_CALC,
+            "adt_calc",
+            mesh.cells,
+            op_arg_dat(mesh.p_x, 0, mesh.pcell, 2, "double", OP_READ),
+            op_arg_dat(mesh.p_x, 1, mesh.pcell, 2, "double", OP_READ),
+            op_arg_dat(mesh.p_x, 2, mesh.pcell, 2, "double", OP_READ),
+            op_arg_dat(mesh.p_x, 3, mesh.pcell, 2, "double", OP_READ),
+            op_arg_dat(mesh.p_q, -1, OP_ID, 4, "double", OP_READ),
+            op_arg_dat(mesh.p_adt, -1, OP_ID, 1, "double", OP_WRITE),
+        )
+        # flux residual over interior edges
+        op_par_loop(
+            RES_CALC,
+            "res_calc",
+            mesh.edges,
+            op_arg_dat(mesh.p_x, 0, mesh.pedge, 2, "double", OP_READ),
+            op_arg_dat(mesh.p_x, 1, mesh.pedge, 2, "double", OP_READ),
+            op_arg_dat(mesh.p_q, 0, mesh.pecell, 4, "double", OP_READ),
+            op_arg_dat(mesh.p_q, 1, mesh.pecell, 4, "double", OP_READ),
+            op_arg_dat(mesh.p_adt, 0, mesh.pecell, 1, "double", OP_READ),
+            op_arg_dat(mesh.p_adt, 1, mesh.pecell, 1, "double", OP_READ),
+            op_arg_dat(mesh.p_res, 0, mesh.pecell, 4, "double", OP_INC),
+            op_arg_dat(mesh.p_res, 1, mesh.pecell, 4, "double", OP_INC),
+        )
+        # boundary-edge fluxes
+        op_par_loop(
+            BRES_CALC,
+            "bres_calc",
+            mesh.bedges,
+            op_arg_dat(mesh.p_x, 0, mesh.pbedge, 2, "double", OP_READ),
+            op_arg_dat(mesh.p_x, 1, mesh.pbedge, 2, "double", OP_READ),
+            op_arg_dat(mesh.p_q, 0, mesh.pbecell, 4, "double", OP_READ),
+            op_arg_dat(mesh.p_adt, 0, mesh.pbecell, 1, "double", OP_READ),
+            op_arg_dat(mesh.p_res, 0, mesh.pbecell, 4, "double", OP_INC),
+            op_arg_dat(mesh.p_bound, -1, OP_ID, 1, "int", OP_READ),
+        )
+        # time update + residual RMS.  With ``chain_futures`` the old state is
+        # supplied through the future returned by save_soln (Fig. 9/10).
+        qold_source: Any = qold_future if (
+            problem.chain_futures and qold_future is not None
+        ) else mesh.p_qold
+        op_par_loop(
+            UPDATE,
+            "update",
+            mesh.cells,
+            op_arg_dat(qold_source, -1, OP_ID, 4, "double", OP_READ),
+            op_arg_dat(mesh.p_q, -1, OP_ID, 4, "double", OP_RW),
+            op_arg_dat(mesh.p_res, -1, OP_ID, 4, "double", OP_RW),
+            op_arg_dat(mesh.p_adt, -1, OP_ID, 1, "double", OP_READ),
+            op_arg_gbl(rms, 1, "double", OP_INC),
+        )
+        loops += 4
+    return loops
+
+
+def run_airfoil(
+    mesh: Optional[AirfoilMesh] = None,
+    *,
+    niter: int = 5,
+    rk_steps: int = 2,
+    nx: int = 60,
+    ny: int = 40,
+    chain_futures: bool = False,
+) -> AirfoilResult:
+    """Run the Airfoil solver on the active execution context.
+
+    Parameters
+    ----------
+    mesh:
+        A (possibly already declared) mesh; generated from ``nx`` x ``ny``
+        when omitted.
+    niter / rk_steps:
+        Number of time steps and Runge-Kutta sub-steps per time step.
+    chain_futures:
+        Feed the future returned by ``save_soln`` into ``update`` (only
+        meaningful under the HPX context; harmless elsewhere).
+
+    Returns the final state and the residual-RMS history.
+    """
+    if mesh is None:
+        mesh = generate_mesh(nx, ny)
+    problem = AirfoilProblem(
+        mesh=mesh, niter=niter, rk_steps=rk_steps, chain_futures=chain_futures
+    )
+
+    rms_history: list[float] = []
+    loops = 0
+    for _iteration in range(problem.niter):
+        rms = np.zeros(1, dtype=np.float64)
+        loops += _time_step(problem, rms)
+        ncells = problem.mesh.num_cells
+        rms_history.append(math.sqrt(float(rms[0]) / ncells))
+
+    assert problem.mesh.p_q is not None
+    return AirfoilResult(
+        q=problem.mesh.p_q.data.copy(),
+        rms_history=rms_history,
+        loops_issued=loops,
+    )

@@ -1,0 +1,266 @@
+"""Mesh generation for the Airfoil application.
+
+The original OP2 distribution ships a ``new_grid.dat`` file describing a
+structured-topology quad mesh of a channel around an airfoil (about 720 K
+nodes and 1.5 M edges in the paper's runs).  We do not have that file, so
+:func:`generate_mesh` builds an equivalent mesh family directly: an
+``nx x ny`` grid of quadrilateral cells in a channel, with the vertical grid
+lines pinched around the channel's midpoint to imitate the flow blockage of
+an airfoil (this produces the same *topological* structure -- interior edges
+with two neighbouring cells, boundary edges with one -- and a comparable
+variation of cell sizes, which is what drives load imbalance).
+
+The mesh exposes exactly the sets, maps and dats the OP2 Airfoil code
+declares:
+
+========  =====================================  ===========================
+entity    description                            OP2 object
+========  =====================================  ===========================
+nodes     grid vertices                          ``op_decl_set``
+edges     interior faces (2 cells each)          ``op_decl_set``
+bedges    boundary faces (1 cell each)           ``op_decl_set``
+cells     quadrilateral control volumes          ``op_decl_set``
+pedge     edge -> 2 nodes                        ``op_decl_map``
+pecell    edge -> 2 cells                        ``op_decl_map``
+pbedge    bedge -> 2 nodes                       ``op_decl_map``
+pbecell   bedge -> 1 cell                        ``op_decl_map``
+pcell     cell -> 4 nodes                        ``op_decl_map``
+p_x       node coordinates (dim 2)               ``op_decl_dat``
+p_q       conservative variables (dim 4)         ``op_decl_dat``
+p_qold    previous time-step copy of p_q         ``op_decl_dat``
+p_adt     area / time-step (dim 1)               ``op_decl_dat``
+p_res     residual (dim 4)                       ``op_decl_dat``
+p_bound   boundary condition flag (dim 1, int)   ``op_decl_dat``
+========  =====================================  ===========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import MeshError
+from repro.op2.dat import OpDat, op_decl_dat
+from repro.op2.map import OpMap, op_decl_map
+from repro.op2.set import OpSet, op_decl_set
+
+__all__ = ["AirfoilMesh", "generate_mesh"]
+
+
+@dataclass
+class AirfoilMesh:
+    """Raw mesh arrays plus (lazily declared) OP2 objects."""
+
+    nx: int
+    ny: int
+    node_coords: np.ndarray  # (nnodes, 2) float64
+    cell_nodes: np.ndarray  # (ncells, 4) int64
+    edge_nodes: np.ndarray  # (nedges, 2) int64
+    edge_cells: np.ndarray  # (nedges, 2) int64
+    bedge_nodes: np.ndarray  # (nbedges, 2) int64
+    bedge_cell: np.ndarray  # (nbedges, 1) int64
+    bound: np.ndarray  # (nbedges, 1) int32 boundary-condition flag
+
+    # OP2 objects (populated by declare())
+    nodes: Optional[OpSet] = None
+    edges: Optional[OpSet] = None
+    bedges: Optional[OpSet] = None
+    cells: Optional[OpSet] = None
+    pedge: Optional[OpMap] = None
+    pecell: Optional[OpMap] = None
+    pbedge: Optional[OpMap] = None
+    pbecell: Optional[OpMap] = None
+    pcell: Optional[OpMap] = None
+    p_x: Optional[OpDat] = None
+    p_q: Optional[OpDat] = None
+    p_qold: Optional[OpDat] = None
+    p_adt: Optional[OpDat] = None
+    p_res: Optional[OpDat] = None
+    p_bound: Optional[OpDat] = None
+
+    # -- sizes -------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of grid vertices."""
+        return len(self.node_coords)
+
+    @property
+    def num_cells(self) -> int:
+        """Number of quadrilateral cells."""
+        return len(self.cell_nodes)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of interior edges."""
+        return len(self.edge_nodes)
+
+    @property
+    def num_bedges(self) -> int:
+        """Number of boundary edges."""
+        return len(self.bedge_nodes)
+
+    # -- OP2 declaration ------------------------------------------------------------
+    def declare(self, initial_q: Optional[np.ndarray] = None) -> "AirfoilMesh":
+        """Declare the OP2 sets, maps and dats for this mesh.
+
+        ``initial_q`` optionally overrides the free-stream initial condition
+        (shape ``(num_cells, 4)``).  Returns ``self`` for chaining.
+        """
+        self.nodes = op_decl_set(self.num_nodes, "nodes")
+        self.edges = op_decl_set(self.num_edges, "edges")
+        self.bedges = op_decl_set(self.num_bedges, "bedges")
+        self.cells = op_decl_set(self.num_cells, "cells")
+
+        self.pedge = op_decl_map(self.edges, self.nodes, 2, self.edge_nodes, "pedge")
+        self.pecell = op_decl_map(self.edges, self.cells, 2, self.edge_cells, "pecell")
+        self.pbedge = op_decl_map(self.bedges, self.nodes, 2, self.bedge_nodes, "pbedge")
+        self.pbecell = op_decl_map(self.bedges, self.cells, 1, self.bedge_cell, "pbecell")
+        self.pcell = op_decl_map(self.cells, self.nodes, 4, self.cell_nodes, "pcell")
+
+        from repro.apps.airfoil.kernels import GAS_CONSTANTS
+
+        if initial_q is None:
+            initial_q = np.tile(GAS_CONSTANTS.qinf, (self.num_cells, 1))
+        elif initial_q.shape != (self.num_cells, 4):
+            raise MeshError(
+                f"initial_q must have shape ({self.num_cells}, 4), got {initial_q.shape}"
+            )
+
+        self.p_x = op_decl_dat(self.nodes, 2, "double", self.node_coords, "p_x")
+        self.p_q = op_decl_dat(self.cells, 4, "double", initial_q, "p_q")
+        self.p_qold = op_decl_dat(self.cells, 4, "double", None, "p_qold")
+        self.p_adt = op_decl_dat(self.cells, 1, "double", None, "p_adt")
+        self.p_res = op_decl_dat(self.cells, 4, "double", None, "p_res")
+        self.p_bound = op_decl_dat(self.bedges, 1, "int", self.bound, "p_bound")
+        return self
+
+    @property
+    def is_declared(self) -> bool:
+        """True once :meth:`declare` has been called."""
+        return self.cells is not None
+
+    def validate(self) -> None:
+        """Structural sanity checks (Euler-style counting, index bounds)."""
+        if self.num_cells != self.nx * self.ny:
+            raise MeshError("cell count does not match nx*ny")
+        expected_edges = self.nx * (self.ny - 1) + (self.nx - 1) * self.ny
+        if self.num_edges != expected_edges:
+            raise MeshError(
+                f"edge count {self.num_edges} does not match expected {expected_edges}"
+            )
+        expected_bedges = 2 * self.nx + 2 * self.ny
+        if self.num_bedges != expected_bedges:
+            raise MeshError(
+                f"boundary edge count {self.num_bedges} != expected {expected_bedges}"
+            )
+        if self.cell_nodes.max() >= self.num_nodes or self.cell_nodes.min() < 0:
+            raise MeshError("cell->node map out of bounds")
+        if self.edge_cells.max() >= self.num_cells or self.edge_cells.min() < 0:
+            raise MeshError("edge->cell map out of bounds")
+
+
+def generate_mesh(nx: int = 60, ny: int = 40, *, channel_pinch: float = 0.2) -> AirfoilMesh:
+    """Generate an ``nx x ny``-cell channel mesh.
+
+    Parameters
+    ----------
+    nx, ny:
+        Number of cells in the stream-wise / cross-stream directions.
+    channel_pinch:
+        Fractional narrowing of the channel near its mid-length (0 disables
+        it); this imitates the blockage of an airfoil and produces the cell
+        size variation responsible for load imbalance in ``res_calc``.
+    """
+    if nx < 2 or ny < 2:
+        raise MeshError(f"mesh must be at least 2x2 cells, got {nx}x{ny}")
+    if not 0.0 <= channel_pinch < 0.9:
+        raise MeshError(f"channel_pinch must be in [0, 0.9), got {channel_pinch}")
+
+    nnx, nny = nx + 1, ny + 1
+
+    # Node coordinates: x uniform in [0, 4]; y in a channel whose half-height
+    # shrinks smoothly around x = 2 (cosine bump), like flow past a thick body.
+    xs = np.linspace(0.0, 4.0, nnx)
+    pinch = 1.0 - channel_pinch * np.exp(-((xs - 2.0) ** 2) / 0.5)
+    node_coords = np.empty((nnx * nny, 2), dtype=np.float64)
+    for j in range(nny):
+        eta = j / (nny - 1)  # 0..1 across the channel
+        y = (eta - 0.5) * pinch  # scaled half-height per column
+        rows = slice(j * nnx, (j + 1) * nnx)
+        node_coords[rows, 0] = xs
+        node_coords[rows, 1] = y
+
+    def node_id(i: int, j: int) -> int:
+        return j * nnx + i
+
+    # Cells: 4 corner nodes in counter-clockwise order.
+    cell_nodes = np.empty((nx * ny, 4), dtype=np.int64)
+    for j in range(ny):
+        for i in range(nx):
+            cell = j * nx + i
+            cell_nodes[cell] = (
+                node_id(i, j),
+                node_id(i + 1, j),
+                node_id(i + 1, j + 1),
+                node_id(i, j + 1),
+            )
+
+    def cell_id(i: int, j: int) -> int:
+        return j * nx + i
+
+    # Interior edges: vertical faces between horizontally adjacent cells and
+    # horizontal faces between vertically adjacent cells.  Node ordering is
+    # chosen so that the flux convention of res_calc -- the face normal is the
+    # edge vector rotated by +90 degrees and points *out of* the first mapped
+    # cell -- holds for every edge (the solver is unstable otherwise).
+    edge_nodes_list: list[tuple[int, int]] = []
+    edge_cells_list: list[tuple[int, int]] = []
+    for j in range(ny):
+        for i in range(nx - 1):
+            # vertical face: nodes top->bottom, cells (left, right)
+            edge_nodes_list.append((node_id(i + 1, j + 1), node_id(i + 1, j)))
+            edge_cells_list.append((cell_id(i, j), cell_id(i + 1, j)))
+    for j in range(ny - 1):
+        for i in range(nx):
+            # horizontal face: nodes left->right, cells (below, above)
+            edge_nodes_list.append((node_id(i, j + 1), node_id(i + 1, j + 1)))
+            edge_cells_list.append((cell_id(i, j), cell_id(i, j + 1)))
+
+    # Boundary edges: bottom/top walls (bound=1, reflective) and inlet/outlet
+    # columns (bound=2, far-field).  Node ordering again follows the outward-
+    # normal convention (rotate the edge vector by +90 degrees).
+    bedge_nodes_list: list[tuple[int, int]] = []
+    bedge_cell_list: list[int] = []
+    bound_list: list[int] = []
+    for i in range(nx):  # bottom wall: outward normal -y -> nodes right->left
+        bedge_nodes_list.append((node_id(i + 1, 0), node_id(i, 0)))
+        bedge_cell_list.append(cell_id(i, 0))
+        bound_list.append(1)
+    for i in range(nx):  # top wall: outward normal +y -> nodes left->right
+        bedge_nodes_list.append((node_id(i, ny), node_id(i + 1, ny)))
+        bedge_cell_list.append(cell_id(i, ny - 1))
+        bound_list.append(1)
+    for j in range(ny):  # inlet: outward normal -x -> nodes bottom->top
+        bedge_nodes_list.append((node_id(0, j), node_id(0, j + 1)))
+        bedge_cell_list.append(cell_id(0, j))
+        bound_list.append(2)
+    for j in range(ny):  # outlet: outward normal +x -> nodes top->bottom
+        bedge_nodes_list.append((node_id(nx, j + 1), node_id(nx, j)))
+        bedge_cell_list.append(cell_id(nx - 1, j))
+        bound_list.append(2)
+
+    mesh = AirfoilMesh(
+        nx=nx,
+        ny=ny,
+        node_coords=node_coords,
+        cell_nodes=cell_nodes,
+        edge_nodes=np.asarray(edge_nodes_list, dtype=np.int64),
+        edge_cells=np.asarray(edge_cells_list, dtype=np.int64),
+        bedge_nodes=np.asarray(bedge_nodes_list, dtype=np.int64),
+        bedge_cell=np.asarray(bedge_cell_list, dtype=np.int64).reshape(-1, 1),
+        bound=np.asarray(bound_list, dtype=np.int32).reshape(-1, 1),
+    )
+    mesh.validate()
+    return mesh

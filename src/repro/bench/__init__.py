@@ -1,0 +1,43 @@
+"""Benchmark harness.
+
+:mod:`repro.bench.harness` runs Airfoil (or any OP2 application callable)
+across backends and thread counts on the simulated machine;
+:mod:`repro.bench.figures` packages the exact sweeps behind each of the
+paper's figures (15-20) and Table I; :mod:`repro.bench.report` renders the
+resulting series as the text tables printed by the benchmark suite.
+"""
+
+from repro.bench.harness import (
+    AirfoilWorkload,
+    ExperimentConfig,
+    ExperimentResult,
+    run_airfoil_experiment,
+    run_thread_sweep,
+)
+from repro.bench.figures import (
+    figure15_execution_time,
+    figure16_strong_scaling,
+    figure17_chunk_sizes,
+    figure18_prefetching,
+    figure19_bandwidth,
+    figure20_prefetch_distance,
+    table1_execution_policies,
+)
+from repro.bench.report import format_series_table, format_table
+
+__all__ = [
+    "AirfoilWorkload",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_airfoil_experiment",
+    "run_thread_sweep",
+    "figure15_execution_time",
+    "figure16_strong_scaling",
+    "figure17_chunk_sizes",
+    "figure18_prefetching",
+    "figure19_bandwidth",
+    "figure20_prefetch_distance",
+    "table1_execution_policies",
+    "format_table",
+    "format_series_table",
+]

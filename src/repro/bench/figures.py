@@ -1,0 +1,178 @@
+"""Per-figure data generators.
+
+Each function reproduces the data series behind one of the paper's figures
+(or Table I) and returns plain dictionaries/series so benchmarks and tests
+can assert the expected *shape* (who wins, roughly by how much, where the
+optimum lies).  EXPERIMENTS.md records the measured values next to the
+paper's numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+from repro.bench.harness import (
+    DEFAULT_THREADS,
+    AirfoilWorkload,
+    ExperimentConfig,
+    run_airfoil_experiment,
+    run_thread_sweep,
+)
+from repro.runtime.policies import execution_policy_table
+from repro.sim.metrics import BandwidthSeries, ScalingSeries, speedup_series
+
+__all__ = [
+    "FigureResult",
+    "table1_execution_policies",
+    "figure15_execution_time",
+    "figure16_strong_scaling",
+    "figure17_chunk_sizes",
+    "figure18_prefetching",
+    "figure19_bandwidth",
+    "figure20_prefetch_distance",
+]
+
+
+@dataclass
+class FigureResult:
+    """Data series behind one figure: one or more labelled sweeps."""
+
+    figure: str
+    series: dict[str, ScalingSeries] = field(default_factory=dict)
+    bandwidth: dict[str, BandwidthSeries] = field(default_factory=dict)
+    extra: dict[str, object] = field(default_factory=dict)
+
+    def improvement(self, better: str, worse: str, threads: int) -> float:
+        """Relative runtime improvement of ``better`` over ``worse`` at ``threads``."""
+        return self.series[better].improvement_over(self.series[worse], threads)
+
+    def speedups(self, label: str, baseline_threads: int = 1) -> dict[int, float]:
+        """Strong-scaling speedups of one series."""
+        return self.series[label].speedups(baseline_threads)
+
+
+def table1_execution_policies() -> list[dict[str, str]]:
+    """Table I: the execution policies implemented by the runtime."""
+    return execution_policy_table()
+
+
+def _default_workload(workload: Optional[AirfoilWorkload]) -> AirfoilWorkload:
+    return workload if workload is not None else AirfoilWorkload()
+
+
+def figure15_execution_time(
+    *,
+    threads: Sequence[int] = DEFAULT_THREADS,
+    workload: Optional[AirfoilWorkload] = None,
+) -> FigureResult:
+    """Fig. 15: execution time of OpenMP vs dataflow over the thread sweep."""
+    workload = _default_workload(workload)
+    omp = ExperimentConfig(backend="openmp", workload=workload)
+    hpx = ExperimentConfig(backend="hpx", workload=workload)
+    result = FigureResult(figure="fig15")
+    for label, config in (("openmp", omp), ("dataflow", hpx)):
+        times, bandwidth = run_thread_sweep(config, threads=threads)
+        result.series[label] = times
+        result.bandwidth[label] = bandwidth
+    return result
+
+
+def figure16_strong_scaling(
+    *,
+    threads: Sequence[int] = DEFAULT_THREADS,
+    workload: Optional[AirfoilWorkload] = None,
+) -> FigureResult:
+    """Fig. 16: strong-scaling speedup of OpenMP vs dataflow.
+
+    Same sweep as Fig. 15; the result's ``extra['speedups']`` holds the
+    speedup-vs-one-thread series for both configurations.
+    """
+    result = figure15_execution_time(threads=threads, workload=workload)
+    result.figure = "fig16"
+    result.extra["speedups"] = {
+        label: series.speedups(baseline_threads=min(series.thread_counts))
+        for label, series in result.series.items()
+    }
+    return result
+
+
+def figure17_chunk_sizes(
+    *,
+    threads: Sequence[int] = DEFAULT_THREADS,
+    workload: Optional[AirfoilWorkload] = None,
+) -> FigureResult:
+    """Fig. 17: dataflow with and without ``persistent_auto_chunk_size``."""
+    workload = _default_workload(workload)
+    base = ExperimentConfig(backend="hpx", workload=workload, chunking="auto")
+    persistent = replace(base, chunking="persistent_auto")
+    result = FigureResult(figure="fig17")
+    for label, config in (("dataflow", base), ("dataflow+persistent_chunks", persistent)):
+        times, bandwidth = run_thread_sweep(config, threads=threads)
+        result.series[label] = times
+        result.bandwidth[label] = bandwidth
+    return result
+
+
+def figure18_prefetching(
+    *,
+    threads: Sequence[int] = DEFAULT_THREADS,
+    workload: Optional[AirfoilWorkload] = None,
+    distance_factor: int = 15,
+) -> FigureResult:
+    """Fig. 18: dataflow (persistent chunks) with and without prefetching."""
+    workload = _default_workload(workload)
+    base = ExperimentConfig(backend="hpx", workload=workload, chunking="persistent_auto")
+    prefetch = replace(base, prefetch=True, prefetch_distance_factor=distance_factor)
+    result = FigureResult(figure="fig18")
+    for label, config in (("dataflow", base), ("dataflow+prefetch", prefetch)):
+        times, bandwidth = run_thread_sweep(config, threads=threads)
+        result.series[label] = times
+        result.bandwidth[label] = bandwidth
+    return result
+
+
+def figure19_bandwidth(
+    *,
+    threads: Sequence[int] = DEFAULT_THREADS,
+    workload: Optional[AirfoilWorkload] = None,
+    distance_factor: int = 15,
+) -> FigureResult:
+    """Fig. 19: data-transfer rate, standard iterator vs prefetching iterator."""
+    result = figure18_prefetching(
+        threads=threads, workload=workload, distance_factor=distance_factor
+    )
+    result.figure = "fig19"
+    result.extra["bandwidth_gbs"] = {
+        label: dict(series.values) for label, series in result.bandwidth.items()
+    }
+    return result
+
+
+def figure20_prefetch_distance(
+    *,
+    distances: Sequence[int] = (1, 2, 5, 10, 15, 25, 50, 100),
+    num_threads: int = 32,
+    workload: Optional[AirfoilWorkload] = None,
+) -> FigureResult:
+    """Fig. 20: transfer rate as a function of ``prefetch_distance_factor``."""
+    workload = _default_workload(workload)
+    result = FigureResult(figure="fig20")
+    sweep = BandwidthSeries(label=f"prefetching iterator ({num_threads} threads)")
+    runtimes: dict[int, float] = {}
+    for distance in distances:
+        config = ExperimentConfig(
+            backend="hpx",
+            workload=workload,
+            num_threads=num_threads,
+            chunking="persistent_auto",
+            prefetch=True,
+            prefetch_distance_factor=distance,
+        )
+        experiment = run_airfoil_experiment(config, check_correctness=False)
+        sweep.record(distance, experiment.bandwidth_gbs)
+        runtimes[distance] = experiment.runtime_seconds
+    result.bandwidth["prefetch_distance"] = sweep
+    result.extra["runtimes"] = runtimes
+    result.extra["best_distance"] = sweep.best()[0]
+    return result

@@ -1,0 +1,58 @@
+"""Plain-text rendering of benchmark results.
+
+The benchmark suite prints the same rows/series the paper's figures plot;
+these helpers keep that formatting in one place so every benchmark's output
+looks the same and EXPERIMENTS.md can be assembled by copy-paste.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.sim.metrics import BandwidthSeries, ScalingSeries
+
+__all__ = ["format_table", "format_series_table", "format_bandwidth_table"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a simple aligned text table."""
+    columns = [list(map(str, column)) for column in zip(*([headers] + [list(r) for r in rows]))]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(" | ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series_table(series: Mapping[str, ScalingSeries], *, unit: str = "ms") -> str:
+    """Render runtime series (one column per configuration) over thread counts."""
+    labels = list(series)
+    threads = sorted({t for s in series.values() for t in s.thread_counts})
+    scale = 1e3 if unit == "ms" else 1.0
+    headers = ["threads"] + labels
+    rows = []
+    for count in threads:
+        row: list[object] = [count]
+        for label in labels:
+            value = series[label].times.get(count)
+            row.append(f"{value * scale:.3f}" if value is not None else "-")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def format_bandwidth_table(series: Mapping[str, BandwidthSeries]) -> str:
+    """Render bandwidth series (GB/s) over their sweep keys."""
+    labels = list(series)
+    keys = sorted({k for s in series.values() for k in s.keys})
+    headers = ["key"] + labels
+    rows = []
+    for key in keys:
+        row: list[object] = [key]
+        for label in labels:
+            value = series[label].values.get(key)
+            row.append(f"{value:.2f}" if value is not None else "-")
+        rows.append(row)
+    return format_table(headers, rows)

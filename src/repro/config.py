@@ -1,0 +1,165 @@
+"""Global configuration and machine presets.
+
+The reproduction runs the paper's experiments on a *simulated* machine
+(see :mod:`repro.sim`).  This module holds the default machine preset that
+mirrors the paper's testbed -- two Intel Xeon E5-2630 sockets, 8 cores each,
+2.4 GHz, hyper-threading enabled (16 physical cores / 32 hardware threads) --
+plus small presets used by unit tests so they stay fast.
+
+All values are plain data; nothing in this module has side effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+__all__ = [
+    "MachinePreset",
+    "PAPER_TESTBED",
+    "SMALL_TEST_MACHINE",
+    "SINGLE_CORE_MACHINE",
+    "DEFAULTS",
+    "get_preset",
+    "register_preset",
+    "available_presets",
+]
+
+
+@dataclass(frozen=True)
+class MachinePreset:
+    """Static description of a simulated shared-memory machine.
+
+    Attributes
+    ----------
+    name:
+        Identifier used to look the preset up in the registry.
+    num_cores:
+        Number of *physical* cores.
+    smt_per_core:
+        Hardware threads per core (2 => hyper-threading enabled).
+    clock_ghz:
+        Core clock in GHz; converts cycles to (simulated) seconds.
+    cache_line_bytes:
+        Cache line size used by both the cache model and the prefetcher
+        distance computation.
+    l1_kib / l2_kib / l3_mib:
+        Capacities of the modelled cache levels.  Only the level used by the
+        prefetch experiments (a private per-core cache fed from a shared
+        last-level cache) is simulated in line-granular detail; the other
+        levels contribute fixed latencies.
+    l1_latency_cycles / l2_latency_cycles / l3_latency_cycles /
+    dram_latency_cycles:
+        Access latencies.
+    dram_bandwidth_gbs:
+        Aggregate memory bandwidth ceiling in GB/s; shared between cores.
+    smt_efficiency:
+        Throughput multiplier for the second hardware thread on a core
+        (the paper's figures flatten past 16 threads, i.e. in the HT region).
+    """
+
+    name: str
+    num_cores: int = 16
+    smt_per_core: int = 2
+    clock_ghz: float = 2.4
+    cache_line_bytes: int = 64
+    l1_kib: int = 32
+    l2_kib: int = 256
+    l3_mib: int = 20
+    l1_latency_cycles: int = 4
+    l2_latency_cycles: int = 12
+    l3_latency_cycles: int = 36
+    dram_latency_cycles: int = 200
+    dram_bandwidth_gbs: float = 42.6
+    smt_efficiency: float = 0.28
+
+    @property
+    def max_threads(self) -> int:
+        """Maximum number of schedulable hardware threads."""
+        return self.num_cores * self.smt_per_core
+
+    def with_overrides(self, **kwargs: Any) -> "MachinePreset":
+        """Return a copy of the preset with ``kwargs`` fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: The paper's testbed: 2x Xeon E5-2630 (8 cores each), HT on, 2.4 GHz.
+PAPER_TESTBED = MachinePreset(name="paper-testbed")
+
+#: A deliberately tiny machine so unit tests exercising the simulator in
+#: detail remain fast and deterministic.
+SMALL_TEST_MACHINE = MachinePreset(
+    name="small-test",
+    num_cores=4,
+    smt_per_core=2,
+    clock_ghz=1.0,
+    l1_kib=4,
+    l2_kib=16,
+    l3_mib=1,
+    dram_bandwidth_gbs=10.0,
+)
+
+#: A single-core machine; used to validate that parallel backends degrade to
+#: the serial schedule.
+SINGLE_CORE_MACHINE = MachinePreset(
+    name="single-core",
+    num_cores=1,
+    smt_per_core=1,
+)
+
+
+@dataclass
+class _Defaults:
+    """Mutable package-level defaults.
+
+    ``DEFAULTS`` is a single module-level instance.  Tests may mutate it but
+    should restore the original values (the ``repro_defaults`` pytest fixture
+    in ``tests/conftest.py`` does this automatically).
+    """
+
+    machine_preset: str = "paper-testbed"
+    default_backend: str = "serial"
+    default_chunking: str = "auto"
+    prefetch_distance_factor: int = 15
+    rng_seed: int = 12345
+    extra: dict[str, Any] = field(default_factory=dict)
+
+
+DEFAULTS = _Defaults()
+
+_PRESETS: dict[str, MachinePreset] = {
+    PAPER_TESTBED.name: PAPER_TESTBED,
+    SMALL_TEST_MACHINE.name: SMALL_TEST_MACHINE,
+    SINGLE_CORE_MACHINE.name: SINGLE_CORE_MACHINE,
+}
+
+
+def get_preset(name: str) -> MachinePreset:
+    """Look up a machine preset by name.
+
+    Raises
+    ------
+    KeyError
+        If the preset has not been registered.
+    """
+    return _PRESETS[name]
+
+
+def register_preset(preset: MachinePreset, *, overwrite: bool = False) -> None:
+    """Register a new machine preset.
+
+    Parameters
+    ----------
+    preset:
+        The preset to add.
+    overwrite:
+        Allow replacing an existing preset of the same name.
+    """
+    if not overwrite and preset.name in _PRESETS:
+        raise ValueError(f"preset {preset.name!r} already registered")
+    _PRESETS[preset.name] = preset
+
+
+def available_presets() -> list[str]:
+    """Names of all registered machine presets, sorted."""
+    return sorted(_PRESETS)

@@ -1,0 +1,41 @@
+"""The paper's contribution: OP2 redesigned on top of the HPX-style runtime.
+
+The four runtime optimisation techniques of the paper map to submodules:
+
+1. **Asynchronous tasking via futures/dataflow** --
+   :mod:`repro.core.futures_args` (``op_arg_dat`` returning futures, Fig. 7)
+   and :mod:`repro.core.dataflow_loop` (``op_par_loop`` as a dataflow node
+   returning a future of its output dat, Figs. 8-9).
+2. **Loop interleaving** -- :mod:`repro.core.interleaving`: chunk-granular
+   dependency tracking between loops, so chunks of dependent loops overlap
+   (Figs. 10-11).
+3. **Dynamic chunk sizing** -- :mod:`repro.core.persistent_chunking`: the
+   ``persistent_auto_chunk_size`` execution-policy parameter that gives every
+   dependent loop chunks of equal *duration* (Fig. 12).
+4. **Data prefetching** -- :mod:`repro.core.prefetch_integration`: the
+   prefetching iterator inside ``for_each`` (Figs. 13-14).
+
+:mod:`repro.core.executor` combines all four into the ``hpx`` OP2 backend;
+:mod:`repro.core.optimizer` holds the knobs that switch each technique on or
+off (used by the ablation benchmarks).
+"""
+
+from repro.core.optimizer import OptimizationConfig
+from repro.core.executor import HPXContext, hpx_context
+from repro.core.futures_args import FutureArg, op_arg_dat_async
+from repro.core.interleaving import AccessInterval, DependencyTracker
+from repro.core.persistent_chunking import ChunkPlanner
+from repro.core.prefetch_integration import build_prefetch_spec, make_loop_prefetcher
+
+__all__ = [
+    "OptimizationConfig",
+    "HPXContext",
+    "hpx_context",
+    "FutureArg",
+    "op_arg_dat_async",
+    "AccessInterval",
+    "DependencyTracker",
+    "ChunkPlanner",
+    "build_prefetch_spec",
+    "make_loop_prefetcher",
+]

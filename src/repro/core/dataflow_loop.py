@@ -1,0 +1,143 @@
+"""``op_par_loop`` as a dataflow node (Figs. 8-9 of the paper).
+
+:class:`DataflowLoopRunner` is the piece of the HPX backend that handles one
+loop invocation:
+
+1. execute the loop numerically (NumPy block execution -- results are
+   bit-identical to the serial backend),
+2. split the iteration range into chunks according to the active chunk-size
+   policy (``auto`` or ``persistent_auto``),
+3. add one task per chunk to the simulated task graph, with chunk-granular
+   dependencies on earlier loops' chunks provided by the
+   :class:`~repro.core.interleaving.DependencyTracker`, each carrying the
+   prefetch-aware chunk cost, and
+4. return a shared future of the loop's output dat, which the application
+   can feed into later ``op_arg_dat`` calls exactly as in Fig. 9/10
+   (``p_qold = op_par_loop_save_soln(...)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.interleaving import DependencyTracker
+from repro.core.optimizer import OptimizationConfig
+from repro.core.persistent_chunking import ChunkPlanner
+from repro.core.prefetch_integration import build_prefetch_spec
+from repro.op2.dat import OpDat
+from repro.op2.par_loop import ParLoop
+from repro.runtime.future import SharedFuture, make_ready_future
+from repro.sim.cost import KernelCostModel, PrefetchSpec
+from repro.sim.scheduler_sim import TaskGraph
+
+__all__ = ["LoopRecord", "DataflowLoopRunner"]
+
+
+@dataclass
+class LoopRecord:
+    """Book-keeping about one executed loop (used in reports and tests)."""
+
+    name: str
+    phase: int
+    iterations: int
+    chunk_sizes: list[int]
+    task_ids: list[int]
+    dependency_count: int
+
+    @property
+    def num_chunks(self) -> int:
+        """Number of chunk tasks the loop produced."""
+        return len(self.chunk_sizes)
+
+
+class DataflowLoopRunner:
+    """Executes loops numerically and expands them into chunk tasks."""
+
+    def __init__(
+        self,
+        *,
+        cost_model: KernelCostModel,
+        task_graph: TaskGraph,
+        tracker: DependencyTracker,
+        planner: ChunkPlanner,
+        config: OptimizationConfig,
+        prefer_vectorized: bool = True,
+    ) -> None:
+        self.cost_model = cost_model
+        self.task_graph = task_graph
+        self.tracker = tracker
+        self.planner = planner
+        self.config = config
+        self.prefer_vectorized = prefer_vectorized
+        self.records: list[LoopRecord] = []
+        self._prefetch_spec: Optional[PrefetchSpec] = (
+            build_prefetch_spec(True, config.prefetch_distance_factor)
+            if config.prefetching
+            else None
+        )
+
+    # -- main entry point -----------------------------------------------------------
+    def run(self, loop: ParLoop, phase: int) -> SharedFuture[OpDat]:
+        """Execute ``loop`` and register its chunk tasks; return the output future."""
+        # 1. Numerical execution (sequential under the hood, identical results).
+        loop.execute_all(prefer_vectorized=self.prefer_vectorized)
+
+        # 2. Chunking according to the active policy.
+        profile = loop.kernel_profile()
+        chunk_sizes = self.planner.plan_chunks(
+            loop, profile=profile, prefetch=self._prefetch_spec
+        )
+
+        # 3. One simulated task per chunk, with chunk-granular dependencies.
+        task_ids: list[int] = []
+        dependency_count = 0
+        start = 0
+        total = max(loop.iterset.size, 1)
+        for chunk_index, size in enumerate(chunk_sizes):
+            stop = start + size
+            deps = self.tracker.chunk_dependencies(loop, start, stop, loop_seq=phase)
+            dependency_count += len(deps)
+            cost = self.cost_model.chunk_cost(
+                profile,
+                size,
+                prefetch=self._prefetch_spec,
+                chunk_index=chunk_index,
+                position=(start / total, stop / total),
+                spawn_overhead=True,
+            )
+            task_id = self.task_graph.add(
+                name=f"{loop.name}#{chunk_index}",
+                loop_name=loop.name,
+                phase=phase,
+                chunk_index=chunk_index,
+                cost=cost,
+                deps=deps,
+            )
+            self.tracker.record_chunk(loop, phase, start, stop, task_id)
+            task_ids.append(task_id)
+            start = stop
+
+        self.records.append(
+            LoopRecord(
+                name=loop.name,
+                phase=phase,
+                iterations=loop.iterset.size,
+                chunk_sizes=list(chunk_sizes),
+                task_ids=task_ids,
+                dependency_count=dependency_count,
+            )
+        )
+
+        # 4. The loop's result, as a (ready) shared future of its output dat.
+        output = loop.output_dat()
+        return make_ready_future(output).share()
+
+    # -- statistics --------------------------------------------------------------------
+    def total_chunks(self) -> int:
+        """Total number of chunk tasks generated so far."""
+        return sum(record.num_chunks for record in self.records)
+
+    def total_dependencies(self) -> int:
+        """Total number of chunk-level dependency edges generated so far."""
+        return sum(record.dependency_count for record in self.records)

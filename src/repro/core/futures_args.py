@@ -1,0 +1,104 @@
+"""``op_arg_dat`` as a future (Fig. 7 of the paper).
+
+The paper modifies ``op_arg_dat`` so that it "produces an argument as a
+future for dataflow object inputs": the argument only becomes available once
+the dat it refers to has been produced by the preceding loop, and the loop
+body (a dataflow node) is invoked only when all of its argument futures are
+ready.
+
+:class:`FutureArg` is that wrapper: it pairs the underlying
+:class:`~repro.op2.args.OpArg` descriptor with the shared future carrying the
+latest value of the dat it reads.  :func:`op_arg_dat_async` mirrors the
+modified C++ ``op_arg_dat``: same signature as the plain version plus the
+producing future (when one exists).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.op2.access import AccessMode, IdentityMap
+from repro.op2.args import OpArg, op_arg_dat
+from repro.op2.dat import OpDat
+from repro.op2.map import OpMap
+from repro.runtime.dataflow import dataflow, unwrapped
+from repro.runtime.future import Future, SharedFuture, make_ready_future
+
+__all__ = ["FutureArg", "op_arg_dat_async"]
+
+
+@dataclass
+class FutureArg:
+    """An ``op_arg`` whose availability is gated by a future.
+
+    Attributes
+    ----------
+    arg:
+        The fully validated argument descriptor.
+    ready:
+        Shared future that becomes ready when the dat value this argument
+        reads has been produced.  For arguments that do not read anything
+        produced earlier this is an already-ready future.
+    """
+
+    arg: OpArg
+    ready: SharedFuture
+
+    def get(self) -> OpArg:
+        """Block until the argument is available and return the descriptor."""
+        self.ready.get()
+        return self.arg
+
+    @property
+    def is_ready(self) -> bool:
+        """Non-blocking readiness check."""
+        return self.ready.is_ready()
+
+
+def _as_shared(future: Union[Future, SharedFuture, None]) -> SharedFuture:
+    if future is None:
+        return make_ready_future(None).share()
+    if isinstance(future, Future):
+        return future.share()
+    return future
+
+
+def op_arg_dat_async(
+    dat: Union[OpDat, Future, SharedFuture],
+    idx: int,
+    map_: Union[OpMap, IdentityMap],
+    dim: int,
+    type_name: str,
+    access: AccessMode,
+    *,
+    produced_by: Union[Future, SharedFuture, None] = None,
+) -> FutureArg:
+    """Build a loop argument gated by the future that produces its data.
+
+    ``dat`` may itself be a future of an :class:`OpDat` -- exactly what the
+    redesigned ``op_par_loop`` returns (Fig. 9: ``p_qold = op_par_loop_...``)
+    -- in which case the argument's readiness is tied to that future.  The
+    argument descriptor itself is created through a small ``dataflow`` node,
+    mirroring the paper's implementation where the modified ``op_arg_dat``
+    "automatically returns the argument as a future".
+    """
+    if isinstance(dat, (Future, SharedFuture)):
+        dat_future = _as_shared(dat)
+        resolved = dat_future.get() if dat_future.is_ready() else None
+        if resolved is None:
+            # Defer descriptor construction until the dat value exists.
+            arg_future = dataflow(
+                unwrapped(lambda real_dat: op_arg_dat(real_dat, idx, map_, dim, type_name, access)),
+                dat_future,
+            ).share()
+            arg_future.wait()
+            return FutureArg(arg=arg_future.get(), ready=dat_future)
+        dat_value: OpDat = resolved
+        gate = dat_future
+    else:
+        dat_value = dat
+        gate = _as_shared(produced_by)
+
+    arg = op_arg_dat(dat_value, idx, map_, dim, type_name, access)
+    return FutureArg(arg=arg, ready=gate)

@@ -1,0 +1,182 @@
+"""Chunk-granular loop interleaving (Figs. 10-11 of the paper).
+
+Because every loop's output dat is a future, a *consumer* loop does not have
+to wait for the whole *producer* loop -- only for the chunks that actually
+produced the data it reads.  :class:`DependencyTracker` maintains, per dat,
+which chunk-tasks last wrote which element ranges (and which have read them
+since), and answers "which existing tasks must chunk ``[start, stop)`` of
+this new loop wait for?".
+
+Dependencies are computed on conservative element *intervals*
+(:class:`AccessInterval`): a chunk's indirect accesses through a map are
+summarised by the min/max target element it touches.  Overlapping intervals
+⇒ dependency, with one important exception: **increment-on-increment never
+orders** -- OP_INC accumulations commute, so two chunks that both increment a
+dat (whether they belong to the same loop or to consecutive accumulation
+loops such as ``res_calc`` followed by ``bres_calc``) may run concurrently.
+A later *reader* of the dat still depends on every chunk of the accumulation
+layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import OP2Error
+from repro.op2.access import AccessMode
+from repro.op2.args import OpArg
+from repro.op2.par_loop import ParLoop
+
+__all__ = ["AccessInterval", "DependencyTracker"]
+
+
+@dataclass(frozen=True)
+class AccessInterval:
+    """A task's access to one dat, summarised as an inclusive element interval."""
+
+    task_id: int
+    lo: int
+    hi: int
+
+    def overlaps(self, lo: int, hi: int) -> bool:
+        """True if ``[lo, hi]`` intersects this interval."""
+        return not (hi < self.lo or lo > self.hi)
+
+
+def _interval_for_arg(arg: OpArg, start: int, stop: int) -> tuple[int, int]:
+    """Inclusive element interval of ``arg``'s dat touched by iterations [start, stop)."""
+    if stop <= start:
+        raise OP2Error(f"empty iteration range [{start}, {stop})")
+    if arg.is_direct:
+        return start, stop - 1
+    assert arg.map is not None
+    targets = arg.map.values[start:stop, arg.map_index]  # type: ignore[union-attr]
+    return int(targets.min()), int(targets.max())
+
+
+@dataclass
+class _DatHistory:
+    """Per-dat record of the last writer layer and readers since then."""
+
+    #: sequence number of the loop that started the current writer layer
+    writer_loop_seq: int = -1
+    #: True while the current writer layer is an OP_INC accumulation
+    accumulating: bool = False
+    writers: list[AccessInterval] = field(default_factory=list)
+    readers: list[AccessInterval] = field(default_factory=list)
+
+
+class DependencyTracker:
+    """Tracks chunk-level data dependencies across loops.
+
+    Parameters
+    ----------
+    chunk_granularity:
+        When ``True`` (the paper's design) dependencies are interval-overlap
+        based; when ``False`` a consumer chunk depends on *every* recorded
+        writer/reader chunk of the dats it touches (loop-granular edges --
+        the ablation baseline).
+    """
+
+    def __init__(self, *, chunk_granularity: bool = True) -> None:
+        self.chunk_granularity = chunk_granularity
+        self._history: dict[int, _DatHistory] = {}
+
+    def _history_for(self, dat_id: int) -> _DatHistory:
+        return self._history.setdefault(dat_id, _DatHistory())
+
+    # -- querying dependencies ----------------------------------------------------
+    def chunk_dependencies(
+        self, loop: ParLoop, start: int, stop: int, *, loop_seq: int = -1
+    ) -> list[int]:
+        """Task ids a chunk ``[start, stop)`` of ``loop`` must wait for.
+
+        Standard RAW/WAR/WAW handling on conservative intervals, except that
+        increment chunks never depend on the other chunks of the same
+        accumulation layer (increments commute).
+        """
+        deps: set[int] = set()
+        for arg in loop.args:
+            if arg.is_global:
+                continue
+            assert arg.dat is not None
+            history = self._history_for(arg.dat.dat_id)
+            lo, hi = _interval_for_arg(arg, start, stop)
+            same_layer = history.writer_loop_seq == loop_seq and loop_seq >= 0
+            if arg.access is AccessMode.INC:
+                # An increment joins the accumulation layer: it must wait for
+                # whatever *non-increment* writer produced the current values
+                # (and for readers, WAR), but not for fellow increments.
+                if not history.accumulating:
+                    deps.update(self._matching(history.writers, lo, hi))
+                deps.update(self._matching(history.readers, lo, hi))
+                continue
+            if arg.access.reads or arg.access.writes:
+                if not (same_layer and arg.access.writes and not arg.access.reads):
+                    deps.update(self._matching(history.writers, lo, hi))
+            if arg.access.writes:
+                deps.update(self._matching(history.readers, lo, hi))
+        return sorted(deps)
+
+    def _matching(self, intervals: Sequence[AccessInterval], lo: int, hi: int) -> list[int]:
+        if self.chunk_granularity:
+            return [record.task_id for record in intervals if record.overlaps(lo, hi)]
+        return [record.task_id for record in intervals]
+
+    # -- recording a scheduled chunk -------------------------------------------------
+    def record_chunk(
+        self, loop: ParLoop, loop_seq: int, start: int, stop: int, task_id: int
+    ) -> None:
+        """Record the accesses of a chunk just added to the task graph.
+
+        ``loop_seq`` is the loop's position in program order.  The first
+        chunk of a new *non-increment* writing loop starts a fresh writer
+        layer for each dat it writes (the previous layer's ordering
+        constraints survive transitively through already-recorded edges);
+        increment chunks extend the current accumulation layer instead.
+
+        Must be called *after* :meth:`chunk_dependencies` for the same chunk.
+        """
+        for arg in loop.args:
+            if arg.is_global:
+                continue
+            assert arg.dat is not None
+            history = self._history_for(arg.dat.dat_id)
+            lo, hi = _interval_for_arg(arg, start, stop)
+            record = AccessInterval(task_id=task_id, lo=lo, hi=hi)
+            if arg.access is AccessMode.INC:
+                if not history.accumulating:
+                    # Begin a new accumulation layer on top of whatever was
+                    # there before.
+                    history.writers = []
+                    history.readers = []
+                    history.accumulating = True
+                history.writer_loop_seq = loop_seq
+                history.writers.append(record)
+            elif arg.access.writes:
+                if history.writer_loop_seq != loop_seq or history.accumulating:
+                    history.writers = []
+                    history.readers = []
+                    history.accumulating = False
+                    history.writer_loop_seq = loop_seq
+                history.writers.append(record)
+            elif arg.access.reads:
+                history.readers.append(record)
+
+    # -- statistics ---------------------------------------------------------------------
+    def tracked_dats(self) -> int:
+        """Number of dats with recorded access history."""
+        return len(self._history)
+
+    def writer_records(self, dat_id: int) -> list[AccessInterval]:
+        """Current writer layer of a dat (for tests/inspection)."""
+        return list(self._history_for(dat_id).writers)
+
+    def reader_records(self, dat_id: int) -> list[AccessInterval]:
+        """Reader records since the last writer layer of a dat."""
+        return list(self._history_for(dat_id).readers)
+
+    def is_accumulating(self, dat_id: int) -> bool:
+        """True while the dat's current writer layer is an OP_INC accumulation."""
+        return self._history_for(dat_id).accumulating

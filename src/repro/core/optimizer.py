@@ -1,0 +1,80 @@
+"""Configuration of the four runtime optimisations.
+
+:class:`OptimizationConfig` is the single knob panel of the HPX backend; the
+benchmark harness flips its fields to reproduce the paper's figures and to
+run the ablations called out in DESIGN.md:
+
+* ``async_tasking`` -- execute loops as dataflow nodes (off = behave like a
+  barrier backend even under the HPX context; used only for sanity ablations).
+* ``interleaving`` -- chunk-granular dependencies between loops (off = a
+  consumer chunk depends on *all* chunks of the producing loop, i.e.
+  loop-granular edges).
+* ``persistent_chunking`` -- the ``persistent_auto_chunk_size`` policy
+  (off = plain ``auto_chunk_size``).
+* ``prefetching`` + ``prefetch_distance_factor`` -- the prefetching iterator
+  inside ``for_each``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.config import DEFAULTS
+from repro.errors import OP2BackendError
+
+__all__ = ["OptimizationConfig"]
+
+
+@dataclass(frozen=True)
+class OptimizationConfig:
+    """Which of the paper's four techniques are active."""
+
+    async_tasking: bool = True
+    interleaving: bool = True
+    persistent_chunking: bool = False
+    prefetching: bool = False
+    prefetch_distance_factor: int = DEFAULTS.prefetch_distance_factor
+
+    def __post_init__(self) -> None:
+        if self.prefetch_distance_factor <= 0:
+            raise OP2BackendError("prefetch_distance_factor must be positive")
+        if self.prefetching and not self.async_tasking:
+            # The paper's prefetcher is specifically the combination of
+            # thread-based prefetching *with* asynchronous task execution.
+            raise OP2BackendError("prefetching requires async_tasking")
+
+    # -- convenience constructors matching the paper's configurations -------------
+    @classmethod
+    def baseline_dataflow(cls) -> "OptimizationConfig":
+        """Fig. 15/16 configuration: dataflow + interleaving only."""
+        return cls(async_tasking=True, interleaving=True)
+
+    @classmethod
+    def with_persistent_chunking(cls) -> "OptimizationConfig":
+        """Fig. 17 configuration: dataflow + persistent_auto_chunk_size."""
+        return cls(async_tasking=True, interleaving=True, persistent_chunking=True)
+
+    @classmethod
+    def full(cls, distance_factor: int = DEFAULTS.prefetch_distance_factor) -> "OptimizationConfig":
+        """Fig. 18-20 configuration: everything on."""
+        return cls(
+            async_tasking=True,
+            interleaving=True,
+            persistent_chunking=True,
+            prefetching=True,
+            prefetch_distance_factor=distance_factor,
+        )
+
+    def but(self, **kwargs: object) -> "OptimizationConfig":
+        """A copy with some fields replaced (ablation helper)."""
+        return replace(self, **kwargs)
+
+    def describe(self) -> str:
+        """Short label used in benchmark tables."""
+        parts = []
+        parts.append("dataflow" if self.async_tasking else "no-dataflow")
+        parts.append("interleave" if self.interleaving else "loop-granular")
+        parts.append("persistent-chunks" if self.persistent_chunking else "auto-chunks")
+        if self.prefetching:
+            parts.append(f"prefetch(d={self.prefetch_distance_factor})")
+        return "+".join(parts)

@@ -1,0 +1,122 @@
+"""Chunk planning for the HPX backend (Fig. 12 of the paper).
+
+:class:`ChunkPlanner` turns a loop (its iteration count and its modelled
+per-iteration time) into the list of chunk sizes the dataflow executor
+creates one task per.  It supports the two configurations the paper
+compares:
+
+* **auto** (baseline, Fig. 12a): each loop independently picks its chunk size
+  with ``auto_chunk_size``; chunks of different loops then have *different*
+  execution times, so interleaved chunks wait on their producers.
+* **persistent_auto** (the contribution, Fig. 12b): the first loop's chunk
+  duration becomes the persistent target; every subsequent loop sizes its
+  (different-sized) chunks to match that duration.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.errors import ChunkingError
+from repro.op2.par_loop import ParLoop
+from repro.runtime.chunking import (
+    AutoChunkSize,
+    ChunkSizePolicy,
+    PersistentAutoChunkSize,
+    PersistentChunkRegistry,
+)
+from repro.sim.cost import KernelCostModel, KernelProfile, PrefetchSpec
+
+__all__ = ["ChunkPlanner"]
+
+#: probe size used to derive a per-iteration time from the cost model
+_PROBE_ELEMENTS = 1024
+
+
+class ChunkPlanner:
+    """Chooses chunk sizes per loop from the machine model and a chunk policy.
+
+    Parameters
+    ----------
+    cost_model:
+        The machine's kernel cost model (shared with the executor so the same
+        calibration drives both chunking and scheduling).
+    num_threads:
+        Worker count used when a policy needs it.
+    policy:
+        ``"auto"``, ``"persistent_auto"`` or any
+        :class:`~repro.runtime.chunking.ChunkSizePolicy` instance.
+    """
+
+    def __init__(
+        self,
+        cost_model: KernelCostModel,
+        num_threads: int,
+        policy: Union[str, ChunkSizePolicy] = "auto",
+    ) -> None:
+        if num_threads <= 0:
+            raise ChunkingError("num_threads must be positive")
+        self.cost_model = cost_model
+        self.num_threads = num_threads
+        self.registry = PersistentChunkRegistry()
+        self.policy = self._resolve_policy(policy)
+
+    def _resolve_policy(self, policy: Union[str, ChunkSizePolicy]) -> ChunkSizePolicy:
+        if isinstance(policy, ChunkSizePolicy):
+            return policy
+        if policy == "auto":
+            # Count-based auto chunking: each loop gets a few chunks per
+            # worker regardless of how long its iterations take, which is the
+            # behaviour the paper's Fig. 17 baseline exhibits.
+            return AutoChunkSize(chunks_per_worker=1)
+        if policy == "persistent_auto":
+            return PersistentAutoChunkSize(registry=self.registry)
+        raise ChunkingError(
+            f"unknown chunking policy {policy!r}; expected 'auto', 'persistent_auto' "
+            "or a ChunkSizePolicy instance"
+        )
+
+    @property
+    def is_persistent(self) -> bool:
+        """True when the persistent_auto policy is active."""
+        return isinstance(self.policy, PersistentAutoChunkSize)
+
+    # -- timing probe -------------------------------------------------------------
+    def time_per_iteration(
+        self, profile: KernelProfile, *, prefetch: Optional[PrefetchSpec] = None
+    ) -> float:
+        """Modelled single-iteration time of a kernel (uncontended, full speed)."""
+        probe = self.cost_model.chunk_cost(
+            profile, _PROBE_ELEMENTS, prefetch=prefetch, chunk_index=0
+        )
+        return probe.total_seconds / _PROBE_ELEMENTS
+
+    # -- main entry point ------------------------------------------------------------
+    def plan_chunks(
+        self,
+        loop: ParLoop,
+        *,
+        profile: Optional[KernelProfile] = None,
+        prefetch: Optional[PrefetchSpec] = None,
+    ) -> list[int]:
+        """Chunk sizes for one loop execution (sizes sum to the iteration count)."""
+        total = loop.iterset.size
+        if total == 0:
+            return []
+        profile = profile if profile is not None else loop.kernel_profile()
+        per_iteration = self.time_per_iteration(profile, prefetch=prefetch)
+        if self.is_persistent:
+            self.registry.register_measurement(loop.name, per_iteration)
+            return self.policy.chunk_sizes(
+                total,
+                self.num_threads,
+                time_per_iteration=per_iteration,
+                loop_key=loop.name,
+            )
+        # Non-persistent policies ignore per-iteration timing on purpose: the
+        # baseline picks chunk counts, not durations.
+        return self.policy.chunk_sizes(total, self.num_threads, loop_key=loop.name)
+
+    def reset(self) -> None:
+        """Forget the persistent chunk duration (new dependent-loop chain)."""
+        self.registry.reset()

@@ -1,0 +1,60 @@
+"""The OP2 active library (Python reimplementation).
+
+OP2 expresses unstructured-mesh computations through four concepts
+(Section II of the paper):
+
+* **sets** (:func:`op_decl_set`) -- nodes, edges, cells, ...
+* **maps** (:func:`op_decl_map`) -- connectivity between sets,
+* **dats** (:func:`op_decl_dat`) -- data attached to set elements, and
+* **parallel loops** (:func:`op_par_loop`) -- a user kernel applied to every
+  element of a set, with explicit access descriptors (``OP_READ``,
+  ``OP_WRITE``, ``OP_RW``, ``OP_INC``) describing how each argument is used.
+
+Loops are executed by a *backend* selected through an execution context:
+
+* :func:`repro.op2.backends.serial.serial_context` -- reference execution,
+* :func:`repro.op2.backends.openmp.openmp_context` -- the paper's baseline
+  (fork/join with a global barrier after every loop),
+* :func:`repro.op2.backends.hpx.hpx_context` -- the paper's contribution
+  (futures + dataflow + persistent chunking + prefetching), implemented in
+  :mod:`repro.core`.
+"""
+
+from repro.op2.access import OP_ID, OP_INC, OP_MAX, OP_MIN, OP_READ, OP_RW, OP_WRITE, AccessMode
+from repro.op2.set import OpSet, op_decl_set
+from repro.op2.map import OpMap, op_decl_map
+from repro.op2.dat import OpDat, op_decl_dat
+from repro.op2.args import OpArg, op_arg_dat, op_arg_gbl
+from repro.op2.kernel import Kernel, kernel
+from repro.op2.plan import ExecutionPlan, op_plan_get
+from repro.op2.par_loop import ParLoop, op_par_loop
+from repro.op2.context import ExecutionContext, active_context, get_active_context
+
+__all__ = [
+    "AccessMode",
+    "OP_READ",
+    "OP_WRITE",
+    "OP_RW",
+    "OP_INC",
+    "OP_MIN",
+    "OP_MAX",
+    "OP_ID",
+    "OpSet",
+    "op_decl_set",
+    "OpMap",
+    "op_decl_map",
+    "OpDat",
+    "op_decl_dat",
+    "OpArg",
+    "op_arg_dat",
+    "op_arg_gbl",
+    "Kernel",
+    "kernel",
+    "ExecutionPlan",
+    "op_plan_get",
+    "ParLoop",
+    "op_par_loop",
+    "ExecutionContext",
+    "active_context",
+    "get_active_context",
+]

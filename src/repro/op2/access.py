@@ -1,0 +1,88 @@
+"""Access descriptors.
+
+Every ``op_arg_dat`` carries an access mode that tells OP2 how the kernel
+uses the data: read-only, write, read-write, or increment (used for indirect
+accumulations where race avoidance is needed -- the paper's ``OP_INC``).
+``OP_MIN`` / ``OP_MAX`` are the global-reduction variants used by
+``op_arg_gbl``.  ``OP_ID`` is the identity "map" marking a direct
+(un-mapped) argument.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = [
+    "AccessMode",
+    "OP_READ",
+    "OP_WRITE",
+    "OP_RW",
+    "OP_INC",
+    "OP_MIN",
+    "OP_MAX",
+    "OP_ID",
+    "IdentityMap",
+]
+
+
+class AccessMode(enum.Enum):
+    """How a kernel accesses one of its arguments."""
+
+    READ = "read"
+    WRITE = "write"
+    RW = "rw"
+    INC = "inc"
+    MIN = "min"
+    MAX = "max"
+
+    @property
+    def reads(self) -> bool:
+        """True if the kernel observes the previous value of the data."""
+        return self in (AccessMode.READ, AccessMode.RW, AccessMode.INC,
+                        AccessMode.MIN, AccessMode.MAX)
+
+    @property
+    def writes(self) -> bool:
+        """True if the kernel modifies the data."""
+        return self in (AccessMode.WRITE, AccessMode.RW, AccessMode.INC,
+                        AccessMode.MIN, AccessMode.MAX)
+
+    @property
+    def is_reduction(self) -> bool:
+        """True for commutative accumulation modes (INC/MIN/MAX)."""
+        return self in (AccessMode.INC, AccessMode.MIN, AccessMode.MAX)
+
+
+#: read-only access
+OP_READ = AccessMode.READ
+#: write-only access
+OP_WRITE = AccessMode.WRITE
+#: read-write access
+OP_RW = AccessMode.RW
+#: increment access (indirect accumulation, race-free via colouring)
+OP_INC = AccessMode.INC
+#: global minimum reduction
+OP_MIN = AccessMode.MIN
+#: global maximum reduction
+OP_MAX = AccessMode.MAX
+
+
+class IdentityMap:
+    """Sentinel standing for the identity mapping (direct arguments).
+
+    The C API spells this ``OP_ID``; it is a singleton here.
+    """
+
+    _instance: "IdentityMap | None" = None
+
+    def __new__(cls) -> "IdentityMap":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "OP_ID"
+
+
+#: the identity map used for direct (non-indirect) arguments
+OP_ID = IdentityMap()

@@ -1,0 +1,202 @@
+"""``op_arg_dat`` / ``op_arg_gbl``: loop argument descriptors.
+
+Every argument passed to :func:`repro.op2.par_loop.op_par_loop` is built by
+one of these constructors.  The descriptor records *which* data is accessed,
+*through which map* (``OP_ID`` for direct access), and *how* (the access
+mode) -- the static information the OP2 compiler uses, and that the paper's
+redesign additionally uses at runtime to build the loop dependency graph.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.errors import OP2AccessError
+from repro.op2.access import OP_ID, AccessMode, IdentityMap
+from repro.op2.dat import DTYPE_ALIASES, OpDat
+from repro.op2.map import OpMap
+
+__all__ = ["ArgKind", "OpArg", "op_arg_dat", "op_arg_gbl"]
+
+
+class ArgKind(enum.Enum):
+    """Whether the argument is per-element data or a global value."""
+
+    DAT = "dat"
+    GBL = "gbl"
+
+
+class OpArg:
+    """A fully validated loop argument."""
+
+    __slots__ = ("kind", "dat", "map", "map_index", "dim", "type_name", "access", "gbl_data")
+
+    def __init__(
+        self,
+        kind: ArgKind,
+        access: AccessMode,
+        dim: int,
+        type_name: str,
+        dat: Optional[OpDat] = None,
+        map_: Union[OpMap, IdentityMap, None] = None,
+        map_index: int = -1,
+        gbl_data: Optional[np.ndarray] = None,
+    ) -> None:
+        self.kind = kind
+        self.access = access
+        self.dim = dim
+        self.type_name = type_name
+        self.dat = dat
+        self.map = map_
+        self.map_index = map_index
+        self.gbl_data = gbl_data
+
+    # -- classification -----------------------------------------------------------
+    @property
+    def is_global(self) -> bool:
+        """True for ``op_arg_gbl`` arguments."""
+        return self.kind is ArgKind.GBL
+
+    @property
+    def is_direct(self) -> bool:
+        """True for dat arguments accessed through the identity map."""
+        return self.kind is ArgKind.DAT and isinstance(self.map, IdentityMap)
+
+    @property
+    def is_indirect(self) -> bool:
+        """True for dat arguments accessed through a real map."""
+        return self.kind is ArgKind.DAT and isinstance(self.map, OpMap)
+
+    # -- helpers -------------------------------------------------------------------
+    @property
+    def bytes_per_iteration(self) -> int:
+        """Bytes this argument moves per loop iteration (used by the cost model)."""
+        if self.is_global:
+            assert self.gbl_data is not None
+            return int(self.gbl_data.nbytes)
+        assert self.dat is not None
+        return self.dat.bytes_per_element
+
+    def describe(self) -> str:
+        """Compact, human-readable form used in plans and reports."""
+        if self.is_global:
+            return f"gbl(dim={self.dim}, {self.access.value})"
+        assert self.dat is not None
+        via = "OP_ID" if self.is_direct else f"{self.map.name}[{self.map_index}]"  # type: ignore[union-attr]
+        return f"{self.dat.name} via {via} ({self.access.value})"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OpArg({self.describe()})"
+
+
+def op_arg_dat(
+    dat: OpDat,
+    idx: int,
+    map_: Union[OpMap, IdentityMap],
+    dim: int,
+    type_name: str,
+    access: AccessMode,
+) -> OpArg:
+    """Build a per-element data argument (C API: ``op_arg_dat``).
+
+    Parameters
+    ----------
+    dat:
+        The data to access.
+    idx:
+        Map slot for indirect arguments (``0 <= idx < map.dim``); must be
+        ``-1`` for direct arguments (``map_ is OP_ID``).
+    map_:
+        ``OP_ID`` for direct access, or the :class:`OpMap` used to reach the
+        dat's set from the iteration set.
+    dim / type_name:
+        Declared dimension and type; checked against the dat.
+    access:
+        One of ``OP_READ`` / ``OP_WRITE`` / ``OP_RW`` / ``OP_INC``.
+
+    ``dat`` may also be a future/shared future of an :class:`OpDat` -- exactly
+    what the HPX backend's ``op_par_loop`` returns (Fig. 9 of the paper) -- in
+    which case its value is awaited here, so application code can chain loops
+    through futures without touching the raw dat.
+    """
+    if hasattr(dat, "get") and hasattr(dat, "is_ready") and not isinstance(dat, OpDat):
+        dat = dat.get()  # a Future/SharedFuture of an OpDat
+    if not isinstance(dat, OpDat):
+        raise OP2AccessError(f"op_arg_dat needs an OpDat, got {dat!r}")
+    if not isinstance(access, AccessMode):
+        raise OP2AccessError(f"invalid access mode {access!r}")
+    if access in (AccessMode.MIN, AccessMode.MAX):
+        raise OP2AccessError("OP_MIN/OP_MAX are only valid for op_arg_gbl")
+    if dim != dat.dim:
+        raise OP2AccessError(
+            f"declared dim {dim} does not match dat {dat.name!r} dim {dat.dim}"
+        )
+    declared = DTYPE_ALIASES.get(str(type_name).lower())
+    if declared is not None and declared != dat.dtype:
+        raise OP2AccessError(
+            f"declared type {type_name!r} does not match dat {dat.name!r} dtype "
+            f"{dat.dtype.name}"
+        )
+    if isinstance(map_, IdentityMap):
+        if idx != -1:
+            raise OP2AccessError("direct arguments (OP_ID) must use idx == -1")
+    elif isinstance(map_, OpMap):
+        if not 0 <= idx < map_.dim:
+            raise OP2AccessError(
+                f"map index {idx} outside [0, {map_.dim}) for map {map_.name!r}"
+            )
+        if map_.to_set != dat.dataset:
+            raise OP2AccessError(
+                f"map {map_.name!r} targets set {map_.to_set.name!r} but dat "
+                f"{dat.name!r} lives on {dat.dataset.name!r}"
+            )
+    else:
+        raise OP2AccessError(f"map argument must be OP_ID or an OpMap, got {map_!r}")
+    return OpArg(
+        kind=ArgKind.DAT,
+        access=access,
+        dim=dim,
+        type_name=str(type_name),
+        dat=dat,
+        map_=map_,
+        map_index=idx,
+    )
+
+
+def op_arg_gbl(
+    data: Union[np.ndarray, list, float],
+    dim: int,
+    type_name: str,
+    access: AccessMode,
+) -> OpArg:
+    """Build a global argument (C API: ``op_arg_gbl``), e.g. a reduction target."""
+    if not isinstance(access, AccessMode):
+        raise OP2AccessError(f"invalid access mode {access!r}")
+    dtype = DTYPE_ALIASES.get(str(type_name).lower())
+    if dtype is None:
+        raise OP2AccessError(f"unknown OP2 type string {type_name!r}")
+    array = np.asarray(data, dtype=dtype)
+    if array.ndim == 0:
+        array = array.reshape(1)
+    if array.size != dim:
+        raise OP2AccessError(
+            f"global argument has {array.size} values but declared dim {dim}"
+        )
+    if access.writes and not isinstance(data, np.ndarray):
+        raise OP2AccessError(
+            "writable global arguments must be NumPy arrays so the result is "
+            "visible to the caller"
+        )
+    # Keep a reference to the caller's array for write access so reductions
+    # land where the application expects them.
+    storage = data if isinstance(data, np.ndarray) else array
+    return OpArg(
+        kind=ArgKind.GBL,
+        access=access,
+        dim=dim,
+        type_name=str(type_name),
+        gbl_data=storage,  # type: ignore[arg-type]
+    )

@@ -1,0 +1,21 @@
+"""OP2 execution backends.
+
+* :mod:`repro.op2.backends.serial` -- reference serial execution.
+* :mod:`repro.op2.backends.openmp` -- the paper's baseline: fork/join with a
+  global barrier after every loop (``#pragma omp parallel for``).
+* :mod:`repro.op2.backends.hpx` -- the paper's contribution: futures +
+  dataflow + persistent chunking + prefetching (implemented in
+  :mod:`repro.core`).
+"""
+
+from repro.op2.backends.serial import SerialContext, serial_context
+from repro.op2.backends.openmp import OpenMPContext, openmp_context
+from repro.op2.backends.hpx import hpx_context
+
+__all__ = [
+    "SerialContext",
+    "serial_context",
+    "OpenMPContext",
+    "openmp_context",
+    "hpx_context",
+]

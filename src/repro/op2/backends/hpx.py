@@ -1,0 +1,13 @@
+"""HPX backend: thin re-export of the :mod:`repro.core` dataflow executor.
+
+The implementation lives in :mod:`repro.core.executor`; this module exists so
+that backend discovery (`repro.op2.backends`) finds all three backends in one
+place and so application code can simply write
+``from repro.op2.backends import hpx_context``.
+"""
+
+from __future__ import annotations
+
+from repro.core.executor import HPXContext, hpx_context
+
+__all__ = ["HPXContext", "hpx_context"]

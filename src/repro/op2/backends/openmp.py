@@ -1,0 +1,151 @@
+"""OpenMP-style baseline backend.
+
+This is the code the stock OP2 translator generates (Fig. 4 of the paper):
+every ``op_par_loop`` becomes a ``#pragma omp parallel for`` over the plan's
+blocks, and -- crucially -- there is an **implicit global barrier at the end
+of every loop**, because "the outputs of the computations ... cannot be
+passed to the outside of the loop" and "the threads inside the loop must wait
+to synchronize before exiting the loop".
+
+Numerically the backend executes blocks in plan order (colour by colour when
+the loop has indirect increments); for timing it contributes one
+:class:`~repro.sim.scheduler_sim.SimTask` per block to a task graph that is
+later simulated in ``BARRIER`` mode, which models the fork/join and barrier
+overheads and the load-imbalance amplification the paper attributes to the
+OpenMP design.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Union
+
+from repro.config import DEFAULTS
+from repro.op2.context import BackendReport, ExecutionContext, register_backend
+from repro.op2.par_loop import ParLoop
+from repro.op2.plan import op_plan_get
+from repro.sim.cost import KernelCostModel
+from repro.sim.machine import Machine
+from repro.sim.scheduler_sim import OmpSchedule, ScheduleMode, TaskGraph, simulate_schedule
+
+__all__ = ["OpenMPContext", "openmp_context"]
+
+
+class OpenMPContext(ExecutionContext):
+    """Fork/join execution with a global barrier after every loop."""
+
+    backend_name = "openmp"
+
+    def __init__(
+        self,
+        *,
+        machine: Union[Machine, str, None] = None,
+        num_threads: int = 16,
+        block_size: int = 256,
+        omp_schedule: Union[OmpSchedule, str] = OmpSchedule.STATIC,
+        prefer_vectorized: bool = True,
+    ) -> None:
+        super().__init__()
+        if machine is None:
+            machine = Machine(DEFAULTS.machine_preset)
+        elif isinstance(machine, str):
+            machine = Machine(machine)
+        self.machine = machine
+        self.num_threads = num_threads
+        self.block_size = block_size
+        self.omp_schedule = (
+            OmpSchedule(omp_schedule) if isinstance(omp_schedule, str) else omp_schedule
+        )
+        self.prefer_vectorized = prefer_vectorized
+        self.cost_model = KernelCostModel(machine)
+        self.task_graph = TaskGraph()
+        self.executed_loops: list[str] = []
+        self._schedule = None
+        self._next_phase = 0
+
+    # -- loop execution -----------------------------------------------------------
+    def execute(self, loop: ParLoop) -> Any:
+        """Execute the loop block-by-block and record its tasks; returns ``None``.
+
+        Loops with indirect increments execute (and are timed) colour by
+        colour, exactly as the OP2 OpenMP code generator emits them: one
+        ``#pragma omp parallel for`` over the blocks of each colour, with an
+        implicit barrier between colours and after the loop.
+        """
+        plan = op_plan_get(loop.name, loop.iterset, self.block_size, loop.args)
+        profile = loop.kernel_profile()
+        total = max(loop.iterset.size, 1)
+
+        # Numerical execution honours colour order (colour-by-colour execution
+        # is what makes indirect increments race-free in the real OpenMP code).
+        if plan.ncolors > 1:
+            color_blocks = [plan.blocks_of_color(c) for c in range(plan.ncolors)]
+        else:
+            color_blocks = [list(range(plan.nblocks))]
+        for blocks in color_blocks:
+            for block in blocks:
+                start, stop = plan.block_range(int(block))
+                loop.execute_block(start, stop, prefer_vectorized=self.prefer_vectorized)
+        loop._mark_outputs_modified()
+
+        # Timing: one task per block; every colour is its own fork/join phase.
+        for blocks in color_blocks:
+            phase = self._next_phase
+            self._next_phase += 1
+            for block in blocks:
+                start, stop = plan.block_range(int(block))
+                cost = self.cost_model.chunk_cost(
+                    profile,
+                    stop - start,
+                    chunk_index=int(block),
+                    position=(start / total, stop / total),
+                    spawn_overhead=False,
+                )
+                self.task_graph.add(
+                    name=f"{loop.name}#{int(block)}",
+                    loop_name=loop.name,
+                    phase=phase,
+                    chunk_index=int(block),
+                    cost=cost,
+                )
+
+        self.loop_count += 1
+        self.executed_loops.append(loop.name)
+        self._schedule = None  # invalidate any previous simulation
+        return None
+
+    # -- reporting --------------------------------------------------------------------
+    def finish(self) -> None:
+        """Simulate the accumulated task graph in BARRIER mode."""
+        if len(self.task_graph) == 0:
+            return
+        self._schedule = simulate_schedule(
+            self.task_graph,
+            self.machine,
+            self.num_threads,
+            ScheduleMode.BARRIER,
+            omp_schedule=self.omp_schedule,
+        )
+
+    def report(self) -> BackendReport:
+        """Report including the simulated BARRIER schedule."""
+        if self._schedule is None:
+            self.finish()
+        return BackendReport(
+            backend=self.backend_name,
+            num_threads=self.num_threads,
+            loops_executed=self.loop_count,
+            schedule=self._schedule,
+            details={
+                "block_size": self.block_size,
+                "omp_schedule": self.omp_schedule.value,
+                "loops": list(self.executed_loops),
+            },
+        )
+
+
+def openmp_context(**kwargs: Any) -> OpenMPContext:
+    """Factory for :class:`OpenMPContext` (registered as backend ``"openmp"``)."""
+    return OpenMPContext(**kwargs)
+
+
+register_backend("openmp", openmp_context, overwrite=True)

@@ -1,0 +1,51 @@
+"""Serial reference backend.
+
+Executes every ``op_par_loop`` immediately, in program order, over the whole
+iteration set.  It is the ground truth the parallel backends are compared
+against in the correctness tests, and the default context when no other
+context is active.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.op2.context import BackendReport, ExecutionContext, register_backend
+from repro.op2.par_loop import ParLoop
+
+__all__ = ["SerialContext", "serial_context"]
+
+
+class SerialContext(ExecutionContext):
+    """Immediate, sequential execution of every loop."""
+
+    backend_name = "serial"
+
+    def __init__(self, *, prefer_vectorized: bool = True) -> None:
+        super().__init__()
+        self.prefer_vectorized = prefer_vectorized
+        self.executed_loops: list[str] = []
+
+    def execute(self, loop: ParLoop) -> Any:
+        """Run the loop to completion; returns ``None``."""
+        loop.execute_all(prefer_vectorized=self.prefer_vectorized)
+        self.loop_count += 1
+        self.executed_loops.append(loop.name)
+        return None
+
+    def report(self) -> BackendReport:
+        """Report with loop count only (nothing is simulated)."""
+        return BackendReport(
+            backend=self.backend_name,
+            num_threads=1,
+            loops_executed=self.loop_count,
+            details={"loops": list(self.executed_loops)},
+        )
+
+
+def serial_context(*, prefer_vectorized: bool = True) -> SerialContext:
+    """Factory for :class:`SerialContext` (registered as backend ``"serial"``)."""
+    return SerialContext(prefer_vectorized=prefer_vectorized)
+
+
+register_backend("serial", serial_context, overwrite=True)

@@ -1,0 +1,177 @@
+"""Execution contexts and backend dispatch.
+
+An *execution context* decides how ``op_par_loop`` invocations run: the
+serial reference, the OpenMP-style fork/join baseline, or the HPX-style
+dataflow executor from :mod:`repro.core`.  Contexts are installed with the
+:func:`active_context` context manager::
+
+    with active_context(openmp_context(num_threads=16)) as ctx:
+        airfoil.run(...)          # op_par_loop calls dispatch to ctx
+    report = ctx.report()
+
+Every context records the loops it executed and produces a
+:class:`BackendReport` combining numerical bookkeeping with the simulated
+timing of the run.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional, TYPE_CHECKING
+
+from repro.errors import OP2BackendError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.op2.par_loop import ParLoop
+    from repro.sim.scheduler_sim import ScheduleResult
+
+__all__ = [
+    "BackendReport",
+    "ExecutionContext",
+    "active_context",
+    "get_active_context",
+    "register_backend",
+    "available_backends",
+    "make_context",
+]
+
+
+@dataclass
+class BackendReport:
+    """Summary of one backend run.
+
+    ``schedule`` is ``None`` for the plain serial context (there is nothing to
+    simulate); the OpenMP and HPX contexts attach the
+    :class:`~repro.sim.scheduler_sim.ScheduleResult` of their run.
+    """
+
+    backend: str
+    num_threads: int
+    loops_executed: int
+    schedule: Optional["ScheduleResult"] = None
+    details: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def makespan_seconds(self) -> float:
+        """Simulated runtime of the run (0.0 when no schedule was produced)."""
+        return self.schedule.makespan_seconds if self.schedule is not None else 0.0
+
+    @property
+    def achieved_bandwidth_gbs(self) -> float:
+        """Simulated achieved memory bandwidth of the run."""
+        return self.schedule.achieved_bandwidth_gbs if self.schedule is not None else 0.0
+
+
+class ExecutionContext:
+    """Base class of every backend context."""
+
+    #: backend identifier, overridden by subclasses
+    backend_name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.loop_count = 0
+
+    # -- the backend interface --------------------------------------------------
+    def execute(self, loop: "ParLoop") -> Any:
+        """Run (or schedule) one parallel loop; backends override this."""
+        raise NotImplementedError
+
+    def finish(self) -> None:
+        """Complete any outstanding asynchronous work (default: nothing)."""
+
+    def report(self) -> BackendReport:
+        """Produce the run report; backends override to attach schedules."""
+        return BackendReport(
+            backend=self.backend_name, num_threads=1, loops_executed=self.loop_count
+        )
+
+    # -- context-manager sugar -----------------------------------------------------
+    def __enter__(self) -> "ExecutionContext":
+        _push_context(self)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        try:
+            if exc_info[0] is None:
+                self.finish()
+        finally:
+            _pop_context(self)
+
+
+# ---------------------------------------------------------------------------
+# Active-context stack (thread-local so tests can run contexts in parallel)
+# ---------------------------------------------------------------------------
+class _ContextStack(threading.local):
+    def __init__(self) -> None:
+        self.stack: list[ExecutionContext] = []
+
+
+_contexts = _ContextStack()
+
+
+def _push_context(context: ExecutionContext) -> None:
+    _contexts.stack.append(context)
+
+
+def _pop_context(context: ExecutionContext) -> None:
+    if not _contexts.stack or _contexts.stack[-1] is not context:
+        raise OP2BackendError("execution context stack corrupted (unbalanced push/pop)")
+    _contexts.stack.pop()
+
+
+def get_active_context() -> ExecutionContext:
+    """The innermost active context; defaults to a fresh serial context."""
+    if _contexts.stack:
+        return _contexts.stack[-1]
+    # Import here to avoid a circular import at module load time.
+    from repro.op2.backends.serial import SerialContext
+
+    default = SerialContext()
+    return default
+
+
+@contextlib.contextmanager
+def active_context(context: ExecutionContext) -> Iterator[ExecutionContext]:
+    """Install ``context`` for the duration of the ``with`` block."""
+    with context:
+        yield context
+
+
+# ---------------------------------------------------------------------------
+# Backend registry
+# ---------------------------------------------------------------------------
+_backend_factories: dict[str, Any] = {}
+
+
+def register_backend(name: str, factory: Any, *, overwrite: bool = False) -> None:
+    """Register a context factory under ``name`` (e.g. ``"openmp"``)."""
+    if not overwrite and name in _backend_factories:
+        raise OP2BackendError(f"backend {name!r} already registered")
+    _backend_factories[name] = factory
+
+
+def available_backends() -> list[str]:
+    """Names of all registered backends, sorted."""
+    _ensure_builtin_backends()
+    return sorted(_backend_factories)
+
+
+def make_context(name: str, **kwargs: Any) -> ExecutionContext:
+    """Instantiate a registered backend context by name."""
+    _ensure_builtin_backends()
+    try:
+        factory = _backend_factories[name]
+    except KeyError as exc:
+        raise OP2BackendError(
+            f"unknown backend {name!r}; available: {sorted(_backend_factories)}"
+        ) from exc
+    return factory(**kwargs)
+
+
+def _ensure_builtin_backends() -> None:
+    """Import the built-in backends so they self-register."""
+    if {"serial", "openmp", "hpx"} <= _backend_factories.keys():
+        return
+    from repro.op2.backends import hpx, openmp, serial  # noqa: F401  (self-registering)

@@ -1,0 +1,102 @@
+"""User kernels.
+
+An OP2 kernel is the per-element function applied by ``op_par_loop``.  In the
+C version kernels live in header files (``save_soln.h`` etc.); here a
+:class:`Kernel` bundles up to two callables:
+
+``elemental``
+    Operates on one element at a time.  Its positional arguments correspond
+    one-to-one to the loop's ``op_arg`` list: direct dat arguments receive a
+    1-D view of length ``dim``, indirect arguments the mapped element's view,
+    and global arguments the global array.  This form is the readable
+    reference used by the serial backend and by correctness tests.
+
+``vectorized``
+    Operates on a whole *block* of elements at once using NumPy, receiving
+    2-D gathered arrays instead of per-element views (and performing OP_INC
+    scatters through ``numpy.add.at`` equivalents handled by the backend).
+    Backends prefer this form -- looping over hundreds of thousands of
+    elements in Python would swamp the experiments -- but it is optional.
+
+``cycles_per_element`` is the arithmetic-cost hint consumed by the machine
+model's :class:`~repro.sim.cost.KernelProfile`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import OP2Error
+
+__all__ = ["Kernel", "kernel"]
+
+
+@dataclass
+class Kernel:
+    """A named user kernel with elemental and (optionally) vectorised forms."""
+
+    name: str
+    elemental: Callable[..., Any]
+    vectorized: Optional[Callable[..., Any]] = None
+    #: arithmetic cycles per element, used by the performance model
+    cycles_per_element: float = 50.0
+    #: fraction of indirect accesses expected to hit already-resident lines
+    reuse_fraction: float = 0.0
+    #: relative per-chunk load imbalance (see KernelProfile.imbalance)
+    imbalance: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not callable(self.elemental):
+            raise OP2Error(f"kernel {self.name!r}: elemental form must be callable")
+        if self.vectorized is not None and not callable(self.vectorized):
+            raise OP2Error(f"kernel {self.name!r}: vectorized form must be callable")
+        if self.cycles_per_element <= 0:
+            raise OP2Error(f"kernel {self.name!r}: cycles_per_element must be positive")
+        if not 0.0 <= self.reuse_fraction <= 1.0:
+            raise OP2Error(f"kernel {self.name!r}: reuse_fraction must be in [0, 1]")
+        if not 0.0 <= self.imbalance < 1.0:
+            raise OP2Error(f"kernel {self.name!r}: imbalance must be in [0, 1)")
+
+    @property
+    def has_vectorized(self) -> bool:
+        """True if a NumPy block form is available."""
+        return self.vectorized is not None
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        """Calling the kernel object invokes the elemental form."""
+        return self.elemental(*args, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        forms = "elemental+vectorized" if self.has_vectorized else "elemental"
+        return f"Kernel({self.name!r}, {forms})"
+
+
+def kernel(
+    name: Optional[str] = None,
+    *,
+    vectorized: Optional[Callable[..., Any]] = None,
+    cycles_per_element: float = 50.0,
+    reuse_fraction: float = 0.0,
+    imbalance: float = 0.05,
+) -> Callable[[Callable[..., Any]], Kernel]:
+    """Decorator turning a plain function into a :class:`Kernel`.
+
+    Example
+    -------
+    >>> @kernel("save_soln", cycles_per_element=8)
+    ... def save_soln(q, qold):
+    ...     qold[:] = q
+    """
+
+    def decorate(function: Callable[..., Any]) -> Kernel:
+        return Kernel(
+            name=name or function.__name__,
+            elemental=function,
+            vectorized=vectorized,
+            cycles_per_element=cycles_per_element,
+            reuse_fraction=reuse_fraction,
+            imbalance=imbalance,
+        )
+
+    return decorate

@@ -1,0 +1,100 @@
+"""``op_map``: connectivity between two sets.
+
+A map of dimension ``dim`` from set *A* to set *B* associates with every
+element of *A* exactly ``dim`` elements of *B* (e.g. every edge maps to its 2
+end nodes, every cell maps to its 4 corner nodes).  Maps are validated at
+declaration time: every target index must lie inside the target set, which is
+how OP2 catches malformed meshes early.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import OP2DeclarationError, OP2MappingError
+from repro.op2.set import OpSet
+
+__all__ = ["OpMap", "op_decl_map"]
+
+_map_ids = itertools.count()
+
+
+class OpMap:
+    """A mapping from ``from_set`` to ``to_set`` with ``dim`` targets per element."""
+
+    __slots__ = ("map_id", "from_set", "to_set", "dim", "values", "name")
+
+    def __init__(
+        self,
+        from_set: OpSet,
+        to_set: OpSet,
+        dim: int,
+        values: Sequence[int] | np.ndarray,
+        name: str = "",
+    ) -> None:
+        if not isinstance(from_set, OpSet) or not isinstance(to_set, OpSet):
+            raise OP2DeclarationError("op_map endpoints must be OpSet instances")
+        if dim <= 0:
+            raise OP2DeclarationError(f"map dimension must be positive, got {dim}")
+        array = np.asarray(values, dtype=np.int64)
+        expected = from_set.size * dim
+        if array.size != expected:
+            raise OP2MappingError(
+                f"map {name!r}: expected {expected} entries "
+                f"({from_set.size} elements x dim {dim}), got {array.size}"
+            )
+        array = array.reshape(from_set.size, dim)
+        if from_set.size and to_set.size == 0:
+            raise OP2MappingError(f"map {name!r}: target set {to_set.name!r} is empty")
+        if array.size:
+            lo, hi = int(array.min()), int(array.max())
+            if lo < 0 or hi >= to_set.size:
+                raise OP2MappingError(
+                    f"map {name!r}: indices [{lo}, {hi}] fall outside target set "
+                    f"{to_set.name!r} of size {to_set.size}"
+                )
+        self.map_id = next(_map_ids)
+        self.from_set = from_set
+        self.to_set = to_set
+        self.dim = dim
+        self.values = array
+        self.values.setflags(write=False)
+        self.name = name or f"map_{self.map_id}"
+
+    def targets(self, element: int) -> np.ndarray:
+        """The ``dim`` target indices of ``element`` of the source set."""
+        return self.values[element]
+
+    def column(self, index: int) -> np.ndarray:
+        """All target indices for map slot ``index`` (one per source element)."""
+        if not 0 <= index < self.dim:
+            raise OP2MappingError(
+                f"map {self.name!r}: slot {index} outside [0, {self.dim})"
+            )
+        return self.values[:, index]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, OpMap) and other.map_id == self.map_id
+
+    def __hash__(self) -> int:
+        return hash(("OpMap", self.map_id))
+
+    def __repr__(self) -> str:
+        return (
+            f"OpMap(name={self.name!r}, {self.from_set.name}->{self.to_set.name}, "
+            f"dim={self.dim})"
+        )
+
+
+def op_decl_map(
+    from_set: OpSet,
+    to_set: OpSet,
+    dim: int,
+    values: Sequence[int] | np.ndarray,
+    name: str = "",
+) -> OpMap:
+    """Declare a map (C API: ``op_decl_map``)."""
+    return OpMap(from_set, to_set, dim, values, name)

@@ -1,0 +1,222 @@
+"""Execution plans: blocking and colouring for indirect loops.
+
+The OP2 runtime splits an iteration set into *blocks* (mini-partitions); the
+generated OpenMP code in Fig. 4 of the paper loops over ``nblocks`` and each
+block processes ``nelem`` elements starting at ``offset_b``.  When a loop
+increments data through a map (``OP_INC``), blocks that touch the same target
+element must not run concurrently; OP2 solves this by *colouring* blocks so
+that blocks of one colour are mutually conflict-free and colours execute one
+after another.
+
+:func:`op_plan_get` reproduces this: it returns (and caches) an
+:class:`ExecutionPlan` with block offsets/sizes and a greedy block colouring
+computed from the loop's indirect write arguments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import OP2PlanError
+from repro.op2.access import AccessMode
+from repro.op2.args import OpArg
+from repro.op2.set import OpSet
+
+__all__ = ["ExecutionPlan", "op_plan_get", "clear_plan_cache", "plan_cache_size"]
+
+#: maximum number of colours the greedy bitmask colouring supports
+_MAX_COLORS = 62
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """Blocking and colouring of one (loop, block size) combination.
+
+    Attributes
+    ----------
+    iterset_size:
+        Size of the iteration set.
+    block_size:
+        Nominal elements per block (the final block may be smaller).
+    block_offset / block_nelems:
+        Per-block start element and element count.
+    block_colors:
+        Colour of each block; blocks sharing a colour never write the same
+        indirectly-accessed element and may run concurrently.
+    ncolors:
+        Number of distinct colours (1 when the loop has no indirect writes).
+    """
+
+    iterset_size: int
+    block_size: int
+    block_offset: np.ndarray
+    block_nelems: np.ndarray
+    block_colors: np.ndarray
+    ncolors: int
+
+    @property
+    def nblocks(self) -> int:
+        """Number of blocks in the plan."""
+        return len(self.block_offset)
+
+    def blocks_of_color(self, color: int) -> np.ndarray:
+        """Block indices having ``color``, in ascending order."""
+        if not 0 <= color < self.ncolors:
+            raise OP2PlanError(f"colour {color} outside [0, {self.ncolors})")
+        return np.nonzero(self.block_colors == color)[0]
+
+    def block_range(self, block: int) -> tuple[int, int]:
+        """``(start, stop)`` element range of ``block``."""
+        if not 0 <= block < self.nblocks:
+            raise OP2PlanError(f"block {block} outside [0, {self.nblocks})")
+        start = int(self.block_offset[block])
+        return start, start + int(self.block_nelems[block])
+
+    def validate(self) -> None:
+        """Check plan invariants (contiguity, coverage, colour count)."""
+        if self.block_offset.shape != self.block_nelems.shape:
+            raise OP2PlanError("offset/nelems arrays must have identical shapes")
+        if self.nblocks and int(self.block_offset[0]) != 0:
+            raise OP2PlanError("first block must start at element 0")
+        covered = int(self.block_nelems.sum())
+        if covered != self.iterset_size:
+            raise OP2PlanError(
+                f"blocks cover {covered} elements, expected {self.iterset_size}"
+            )
+        for index in range(1, self.nblocks):
+            expected = int(self.block_offset[index - 1] + self.block_nelems[index - 1])
+            if int(self.block_offset[index]) != expected:
+                raise OP2PlanError(f"block {index} is not contiguous with block {index - 1}")
+        if self.nblocks and int(self.block_colors.max(initial=0)) >= self.ncolors:
+            raise OP2PlanError("block colour exceeds declared colour count")
+
+
+_plan_cache: dict[tuple, ExecutionPlan] = {}
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached plan (used by tests and between applications)."""
+    _plan_cache.clear()
+
+
+def plan_cache_size() -> int:
+    """Number of cached plans."""
+    return len(_plan_cache)
+
+
+def _indirect_write_args(args: Sequence[OpArg]) -> list[OpArg]:
+    """Arguments whose indirect writes force colouring."""
+    return [
+        arg
+        for arg in args
+        if arg.is_indirect and arg.access in (AccessMode.INC, AccessMode.RW, AccessMode.WRITE)
+    ]
+
+
+def _cache_key(iterset: OpSet, block_size: int, args: Sequence[OpArg]) -> tuple:
+    arg_keys = []
+    for arg in _indirect_write_args(args):
+        assert arg.dat is not None and arg.map is not None
+        arg_keys.append((arg.dat.dat_id, arg.map.map_id, arg.map_index, arg.access.value))  # type: ignore[union-attr]
+    return (iterset.set_id, iterset.size, block_size, tuple(arg_keys))
+
+
+def _color_blocks(
+    offsets: np.ndarray,
+    nelems: np.ndarray,
+    conflict_args: Sequence[OpArg],
+) -> tuple[np.ndarray, int]:
+    """Greedy block colouring using per-target colour bitmasks."""
+    nblocks = len(offsets)
+    colors = np.zeros(nblocks, dtype=np.int32)
+    if not conflict_args or nblocks == 0:
+        return colors, 1 if nblocks else 0
+
+    # One bitmask array per distinct (dat) being written indirectly: two blocks
+    # conflict only if they write the same element of the same dat.
+    masks: dict[int, np.ndarray] = {}
+    for arg in conflict_args:
+        assert arg.dat is not None
+        masks.setdefault(arg.dat.dat_id, np.zeros(arg.dat.size, dtype=np.int64))
+
+    ncolors = 0
+    for block in range(nblocks):
+        start = int(offsets[block])
+        stop = start + int(nelems[block])
+        forbidden = np.int64(0)
+        touched: list[tuple[np.ndarray, np.ndarray]] = []
+        for arg in conflict_args:
+            assert arg.dat is not None and arg.map is not None
+            targets = np.unique(arg.map.values[start:stop, arg.map_index])  # type: ignore[union-attr]
+            mask = masks[arg.dat.dat_id]
+            if targets.size:
+                forbidden |= np.bitwise_or.reduce(mask[targets])
+            touched.append((mask, targets))
+        color = 0
+        while color <= _MAX_COLORS and (int(forbidden) >> color) & 1:
+            color += 1
+        if color > _MAX_COLORS:
+            raise OP2PlanError(
+                f"block colouring needs more than {_MAX_COLORS} colours; "
+                "reduce the block size"
+            )
+        bit = np.int64(1 << color)
+        for mask, targets in touched:
+            if targets.size:
+                mask[targets] |= bit
+        colors[block] = color
+        ncolors = max(ncolors, color + 1)
+    return colors, ncolors
+
+
+def op_plan_get(
+    name: str,
+    iterset: OpSet,
+    block_size: int,
+    args: Sequence[OpArg],
+) -> ExecutionPlan:
+    """Build (or fetch from cache) the execution plan for a loop.
+
+    Parameters
+    ----------
+    name:
+        Loop name (only used for error messages).
+    iterset:
+        The set the loop iterates over.
+    block_size:
+        Nominal number of elements per block; must be positive.
+    args:
+        The loop's arguments; only indirect write/increment arguments affect
+        colouring.
+    """
+    if block_size <= 0:
+        raise OP2PlanError(f"loop {name!r}: block size must be positive, got {block_size}")
+    key = _cache_key(iterset, block_size, args)
+    cached = _plan_cache.get(key)
+    if cached is not None:
+        return cached
+
+    size = iterset.size
+    nblocks = (size + block_size - 1) // block_size if size else 0
+    offsets = np.arange(nblocks, dtype=np.int64) * block_size
+    nelems = np.full(nblocks, block_size, dtype=np.int64)
+    if nblocks:
+        nelems[-1] = size - offsets[-1]
+
+    conflict_args = _indirect_write_args(args)
+    colors, ncolors = _color_blocks(offsets, nelems, conflict_args)
+
+    plan = ExecutionPlan(
+        iterset_size=size,
+        block_size=block_size,
+        block_offset=offsets,
+        block_nelems=nelems,
+        block_colors=colors,
+        ncolors=ncolors if nblocks else 0,
+    )
+    plan.validate()
+    _plan_cache[key] = plan
+    return plan

@@ -1,0 +1,49 @@
+"""``op_set``: a named collection of mesh elements (nodes, edges, cells...)."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.errors import OP2DeclarationError
+
+__all__ = ["OpSet", "op_decl_set"]
+
+_set_ids = itertools.count()
+
+
+class OpSet:
+    """A set of ``size`` homogeneous mesh elements.
+
+    Sets carry no data themselves; data lives in :class:`~repro.op2.dat.OpDat`
+    objects declared *on* a set, and connectivity between sets lives in
+    :class:`~repro.op2.map.OpMap` objects.
+    """
+
+    __slots__ = ("set_id", "size", "name")
+
+    def __init__(self, size: int, name: str = "") -> None:
+        if size < 0:
+            raise OP2DeclarationError(f"set size must be non-negative, got {size}")
+        if not isinstance(size, int):
+            raise OP2DeclarationError(f"set size must be an integer, got {size!r}")
+        self.set_id = next(_set_ids)
+        self.size = size
+        self.name = name or f"set_{self.set_id}"
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, OpSet) and other.set_id == self.set_id
+
+    def __hash__(self) -> int:
+        return hash(("OpSet", self.set_id))
+
+    def __repr__(self) -> str:
+        return f"OpSet(name={self.name!r}, size={self.size})"
+
+
+def op_decl_set(size: int, name: str = "") -> OpSet:
+    """Declare a set of ``size`` elements (C API: ``op_decl_set``)."""
+    return OpSet(size, name)

@@ -1,0 +1,111 @@
+"""An HPX-like asynchronous runtime in pure Python.
+
+This package reproduces, at the API level, the parts of the HPX C++ runtime
+system that the paper's OP2 redesign relies on:
+
+* futures and promises (:mod:`repro.runtime.future`),
+* local control objects -- latches, barriers, semaphores, channels
+  (:mod:`repro.runtime.lco`),
+* a work-stealing task scheduler (:mod:`repro.runtime.scheduler`),
+* the ``dataflow`` / ``unwrapped`` construct (:mod:`repro.runtime.dataflow`),
+* execution policies ``seq`` / ``par`` / ``seq(task)`` / ``par(task)``
+  (:mod:`repro.runtime.policies`, the paper's Table I),
+* chunk-size policies including the paper's new
+  ``persistent_auto_chunk_size`` (:mod:`repro.runtime.chunking`),
+* parallel algorithms, most importantly ``for_each``
+  (:mod:`repro.runtime.algorithms`), and
+* the prefetching iterator ``make_prefetcher_context``
+  (:mod:`repro.runtime.prefetching`).
+
+Execution is real (Python threads), so the asynchronous semantics -- what can
+overlap with what, which barriers exist -- are genuine; the *performance*
+numbers for the paper's figures come from the machine model in
+:mod:`repro.sim` instead of wall-clock time (see DESIGN.md).
+"""
+
+from repro.runtime.future import (
+    Future,
+    Promise,
+    SharedFuture,
+    make_exceptional_future,
+    make_ready_future,
+    when_all,
+    when_any,
+)
+from repro.runtime.lco import AndGate, Barrier, Channel, CountingSemaphore, Event, Latch
+from repro.runtime.scheduler import (
+    ImmediateScheduler,
+    TaskScheduler,
+    WorkStealingScheduler,
+    get_default_scheduler,
+    reset_default_scheduler,
+    set_default_scheduler,
+)
+from repro.runtime.dataflow import dataflow, unwrapped
+from repro.runtime.policies import (
+    ExecutionPolicy,
+    execution_policy_table,
+    par,
+    par_task,
+    par_vec,
+    seq,
+    seq_task,
+)
+from repro.runtime.chunking import (
+    AutoChunkSize,
+    ChunkSizePolicy,
+    DynamicChunkSize,
+    GuidedChunkSize,
+    PersistentAutoChunkSize,
+    PersistentChunkRegistry,
+    StaticChunkSize,
+)
+from repro.runtime.algorithms import for_each, for_loop, parallel_reduce, parallel_transform
+from repro.runtime.prefetching import PrefetcherContext, make_prefetcher_context
+from repro.runtime.runtime import HPXRuntime, runtime_session
+
+__all__ = [
+    "Future",
+    "Promise",
+    "SharedFuture",
+    "make_ready_future",
+    "make_exceptional_future",
+    "when_all",
+    "when_any",
+    "AndGate",
+    "Barrier",
+    "Channel",
+    "CountingSemaphore",
+    "Event",
+    "Latch",
+    "TaskScheduler",
+    "ImmediateScheduler",
+    "WorkStealingScheduler",
+    "get_default_scheduler",
+    "set_default_scheduler",
+    "reset_default_scheduler",
+    "dataflow",
+    "unwrapped",
+    "ExecutionPolicy",
+    "seq",
+    "par",
+    "par_vec",
+    "seq_task",
+    "par_task",
+    "execution_policy_table",
+    "ChunkSizePolicy",
+    "StaticChunkSize",
+    "AutoChunkSize",
+    "GuidedChunkSize",
+    "DynamicChunkSize",
+    "PersistentAutoChunkSize",
+    "PersistentChunkRegistry",
+    "for_each",
+    "for_loop",
+    "parallel_transform",
+    "parallel_reduce",
+    "PrefetcherContext",
+    "make_prefetcher_context",
+    "HPXRuntime",
+    "runtime_session",
+]

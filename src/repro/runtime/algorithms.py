@@ -1,0 +1,279 @@
+"""Parallel algorithms: ``for_each`` and friends.
+
+``hpx::parallel::for_each`` is the work-horse of the redesigned OP2 backend
+(Fig. 8 and Fig. 14 of the paper): the outer block loop of every
+``op_par_loop`` becomes a ``for_each`` over the block range, executed under an
+execution policy, with chunk sizes supplied by a chunk-size policy and
+optionally iterating through a prefetcher context.
+
+The algorithms here work with:
+
+* a plain ``range`` / sequence of items, or
+* a :class:`~repro.runtime.prefetching.PrefetcherContext`, in which case every
+  iteration prefetches ``distance_factor`` ahead for all containers.
+
+Sequential policies run inline; parallel policies split the range into chunks
+and execute the chunks on the scheduler; ``task`` policies return a future
+instead of blocking.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Iterable, Optional, Sequence, TypeVar, Union
+
+from repro.errors import PolicyError
+from repro.runtime.chunking import (
+    AutoChunkSize,
+    ChunkSizePolicy,
+    PersistentAutoChunkSize,
+    split_into_chunks,
+)
+from repro.runtime.future import Future, make_ready_future, when_all
+from repro.runtime.policies import ExecutionPolicy
+from repro.runtime.prefetching import PrefetcherContext
+from repro.runtime.scheduler import TaskScheduler, get_default_scheduler
+
+__all__ = ["for_each", "for_loop", "parallel_transform", "parallel_reduce"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+RangeLike = Union[range, Sequence[Any], PrefetcherContext]
+
+#: number of leading iterations executed inline to calibrate
+#: ``persistent_auto_chunk_size`` when no timing information exists yet
+_CALIBRATION_ITERATIONS = 32
+
+
+def _resolve_scheduler(policy: ExecutionPolicy, scheduler: Optional[TaskScheduler]) -> TaskScheduler:
+    if scheduler is not None:
+        return scheduler
+    if policy.scheduler is not None:
+        return policy.scheduler
+    return get_default_scheduler()
+
+
+def _resolve_chunker(policy: ExecutionPolicy, chunker: Optional[ChunkSizePolicy]) -> ChunkSizePolicy:
+    if chunker is not None:
+        return chunker
+    if policy.chunker is not None:
+        return policy.chunker
+    return AutoChunkSize()
+
+
+def _items_and_length(items: RangeLike) -> tuple[Any, int]:
+    if isinstance(items, PrefetcherContext):
+        return items, len(items)
+    if isinstance(items, range):
+        return items, len(items)
+    if hasattr(items, "__len__") and hasattr(items, "__getitem__"):
+        return items, len(items)
+    raise PolicyError(
+        "for_each needs a range, an indexable sequence or a PrefetcherContext; "
+        f"got {type(items).__name__}"
+    )
+
+
+def _run_chunk(items: RangeLike, start: int, stop: int, body: Callable[[Any], Any]) -> None:
+    """Execute ``body`` over positions ``[start, stop)`` of ``items``."""
+    if isinstance(items, PrefetcherContext):
+        for index in items.chunk(items.begin + start, items.begin + stop):
+            body(index)
+    elif isinstance(items, range):
+        for index in items[start:stop]:
+            body(index)
+    else:
+        for position in range(start, stop):
+            body(items[position])
+
+
+def _chunk_offsets(sizes: Sequence[int]) -> list[tuple[int, int]]:
+    offsets = []
+    cursor = 0
+    for size in sizes:
+        offsets.append((cursor, cursor + size))
+        cursor += size
+    return offsets
+
+
+def for_each(
+    policy: ExecutionPolicy,
+    items: RangeLike,
+    body: Callable[[Any], Any],
+    *,
+    chunker: Optional[ChunkSizePolicy] = None,
+    scheduler: Optional[TaskScheduler] = None,
+    loop_key: Optional[str] = None,
+    time_per_iteration: Optional[float] = None,
+) -> Optional[Future[None]]:
+    """Apply ``body`` to every element of ``items`` under ``policy``.
+
+    Parameters
+    ----------
+    policy:
+        Execution policy (``seq``, ``par``, ``seq(task)``, ``par(task)``).
+    items:
+        ``range``, indexable sequence, or :class:`PrefetcherContext`.
+    body:
+        Callable applied to each element/index.
+    chunker:
+        Chunk-size policy; defaults to the policy's attached chunker or
+        :class:`AutoChunkSize`.
+    loop_key / time_per_iteration:
+        Passed to the chunker, which matters for
+        :class:`PersistentAutoChunkSize` -- when no timing information is
+        available the algorithm measures a short calibration prefix inline and
+        registers it with the chunker's registry.
+
+    Returns ``None`` for synchronous policies and a ``Future[None]`` for
+    ``task`` policies.
+    """
+    if not isinstance(policy, ExecutionPolicy):
+        raise PolicyError(f"first argument must be an ExecutionPolicy, got {policy!r}")
+    items, total = _items_and_length(items)
+    chunker = _resolve_chunker(policy, chunker)
+    scheduler = _resolve_scheduler(policy, scheduler)
+    key = loop_key or getattr(body, "__name__", "for_each")
+
+    if total == 0:
+        return make_ready_future(None) if policy.is_task else None
+
+    # -- sequential policies ----------------------------------------------------
+    if not policy.parallel:
+        def run_sequential() -> None:
+            _run_chunk(items, 0, total, body)
+
+        if policy.is_task:
+            return scheduler.spawn(run_sequential)
+        run_sequential()
+        return None
+
+    # -- persistent_auto_chunk_size calibration ----------------------------------
+    start_offset = 0
+    if (
+        isinstance(chunker, PersistentAutoChunkSize)
+        and time_per_iteration is None
+        and chunker.registry.measurement(key) is None
+    ):
+        probe = min(_CALIBRATION_ITERATIONS, total)
+        t0 = time.perf_counter()
+        _run_chunk(items, 0, probe, body)
+        elapsed = max(time.perf_counter() - t0, 1e-9)
+        chunker.registry.register_measurement(key, elapsed / probe)
+        time_per_iteration = elapsed / probe
+        start_offset = probe
+
+    remaining = total - start_offset
+    sizes = chunker.chunk_sizes(
+        remaining,
+        scheduler.num_workers,
+        time_per_iteration=time_per_iteration,
+        loop_key=key,
+    )
+    offsets = [(s + start_offset, e + start_offset) for s, e in _chunk_offsets(sizes)]
+
+    def spawn_chunks() -> list[Future[Any]]:
+        futures = []
+        for start, stop in offsets:
+            futures.append(scheduler.spawn(_run_chunk, items, start, stop, body))
+        return futures
+
+    if policy.is_task:
+        futures = spawn_chunks()
+        gate = when_all(futures)
+        return gate.then(lambda _f: None)
+
+    futures = spawn_chunks()
+    for future in futures:
+        future.get()
+    return None
+
+
+def for_loop(
+    policy: ExecutionPolicy,
+    start: int,
+    stop: int,
+    body: Callable[[int], Any],
+    **kwargs: Any,
+) -> Optional[Future[None]]:
+    """``for_each`` over ``range(start, stop)`` (mirrors ``hpx::for_loop``)."""
+    return for_each(policy, range(start, stop), body, **kwargs)
+
+
+def parallel_transform(
+    policy: ExecutionPolicy,
+    items: Sequence[T],
+    transform: Callable[[T], R],
+    **kwargs: Any,
+) -> Union[list[R], Future[list[R]]]:
+    """Apply ``transform`` to every item, preserving order.
+
+    Synchronous policies return the list; ``task`` policies return a future of
+    the list.
+    """
+    results: list[Any] = [None] * len(items)
+
+    def body(position: int) -> None:
+        results[position] = transform(items[position])
+
+    outcome = for_each(policy, range(len(items)), body, **kwargs)
+    if policy.is_task:
+        assert isinstance(outcome, Future)
+        return outcome.then(lambda _f: results)
+    return results
+
+
+def parallel_reduce(
+    policy: ExecutionPolicy,
+    items: Sequence[T],
+    operation: Callable[[R, T], R],
+    initial: R,
+    **kwargs: Any,
+) -> Union[R, Future[R]]:
+    """Chunk-wise reduction.
+
+    ``operation`` must be associative; each chunk folds locally and the chunk
+    results are folded in chunk order, so the result is deterministic.
+    """
+    if not isinstance(policy, ExecutionPolicy):
+        raise PolicyError(f"first argument must be an ExecutionPolicy, got {policy!r}")
+    total = len(items)
+    if total == 0:
+        return make_ready_future(initial) if policy.is_task else initial
+
+    chunker = _resolve_chunker(policy, kwargs.pop("chunker", None))
+    scheduler = _resolve_scheduler(policy, kwargs.pop("scheduler", None))
+    sizes = chunker.chunk_sizes(total, scheduler.num_workers)
+    offsets = _chunk_offsets(sizes)
+
+    def fold_chunk(start: int, stop: int) -> list[T]:
+        # Return the chunk's items folded pairwise into a single-element list
+        # to avoid needing a neutral element per chunk.
+        iterator = iter(items[start:stop])
+        accumulator: Any = next(iterator)
+        for item in iterator:
+            accumulator = operation(accumulator, item)
+        return [accumulator]
+
+    def combine(chunk_results: list[list[T]]) -> R:
+        accumulator = initial
+        for chunk_value in chunk_results:
+            accumulator = operation(accumulator, chunk_value[0])
+        return accumulator
+
+    if not policy.parallel:
+        chunk_results = [fold_chunk(s, e) for s, e in offsets]
+        result = combine(chunk_results)
+        return make_ready_future(result) if policy.is_task else result
+
+    futures = [scheduler.spawn(fold_chunk, s, e) for s, e in offsets]
+    if policy.is_task:
+        gate = when_all(futures)
+
+        def finish(_gate_future: Future[Any]) -> R:
+            return combine([f.get() for f in futures])
+
+        return gate.then(finish)
+    chunk_results = [f.get() for f in futures]
+    return combine(chunk_results)

@@ -1,0 +1,337 @@
+"""Chunk-size policies, including the paper's ``persistent_auto_chunk_size``.
+
+"In order to control the overheads introduced by the creation of each task,
+it is important to control the amount of work performed by each task.  This
+amount of work is known as the chunk size" (Section I).  HPX ships
+``static_chunk_size``, ``auto_chunk_size``, ``guided_chunk_size`` and
+``dynamic_chunk_size``; the paper adds ``persistent_auto_chunk_size``
+(Section IV-B, Figure 12): the first loop of a chain of dependent loops picks
+its chunk size automatically, and every *subsequent* loop picks a (generally
+different) chunk size such that each of its chunks has the **same execution
+time** as the first loop's chunks, so interleaved chunks never wait long for
+their producers.
+
+All policies answer one question -- "given ``total_iterations`` and
+``num_workers`` (and, when known, the measured/modelled time per iteration),
+what chunk sizes should the algorithm use?" -- through
+:meth:`ChunkSizePolicy.chunk_sizes`.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ChunkingError
+
+__all__ = [
+    "ChunkSizePolicy",
+    "StaticChunkSize",
+    "AutoChunkSize",
+    "GuidedChunkSize",
+    "DynamicChunkSize",
+    "PersistentChunkRegistry",
+    "PersistentAutoChunkSize",
+    "split_into_chunks",
+]
+
+
+def split_into_chunks(total_iterations: int, chunk_size: int) -> list[int]:
+    """Split ``total_iterations`` into consecutive chunks of ``chunk_size``.
+
+    The final chunk absorbs the remainder, so the sizes always sum to
+    ``total_iterations``.
+    """
+    if total_iterations < 0:
+        raise ChunkingError(f"total_iterations must be non-negative, got {total_iterations}")
+    if chunk_size <= 0:
+        raise ChunkingError(f"chunk_size must be positive, got {chunk_size}")
+    if total_iterations == 0:
+        return []
+    full, remainder = divmod(total_iterations, chunk_size)
+    sizes = [chunk_size] * full
+    if remainder:
+        sizes.append(remainder)
+    return sizes
+
+
+class ChunkSizePolicy(ABC):
+    """Base class of every chunk-size policy."""
+
+    #: short name used in reports and benchmark labels
+    name: str = "chunker"
+
+    @abstractmethod
+    def chunk_sizes(
+        self,
+        total_iterations: int,
+        num_workers: int,
+        *,
+        time_per_iteration: Optional[float] = None,
+        loop_key: Optional[str] = None,
+    ) -> list[int]:
+        """Chunk sizes (summing to ``total_iterations``) for one loop execution."""
+
+    # -- shared validation -----------------------------------------------------
+    @staticmethod
+    def _validate(total_iterations: int, num_workers: int) -> None:
+        if total_iterations < 0:
+            raise ChunkingError(
+                f"total_iterations must be non-negative, got {total_iterations}"
+            )
+        if num_workers <= 0:
+            raise ChunkingError(f"num_workers must be positive, got {num_workers}")
+
+
+@dataclass
+class StaticChunkSize(ChunkSizePolicy):
+    """Fixed chunk size (``hpx::execution::static_chunk_size``)."""
+
+    chunk_size: int = 1
+    name: str = "static"
+
+    def __post_init__(self) -> None:
+        if self.chunk_size <= 0:
+            raise ChunkingError(f"chunk_size must be positive, got {self.chunk_size}")
+
+    def chunk_sizes(
+        self,
+        total_iterations: int,
+        num_workers: int,
+        *,
+        time_per_iteration: Optional[float] = None,
+        loop_key: Optional[str] = None,
+    ) -> list[int]:
+        self._validate(total_iterations, num_workers)
+        return split_into_chunks(total_iterations, self.chunk_size)
+
+
+@dataclass
+class AutoChunkSize(ChunkSizePolicy):
+    """HPX-style automatic chunking.
+
+    When a per-iteration time is known the chunk size targets
+    ``target_chunk_seconds`` per chunk (HPX measures the first iterations to
+    do this); otherwise it falls back to ``chunks_per_worker`` chunks per
+    worker, which keeps scheduling overhead bounded while leaving enough
+    slack for load balancing.
+    """
+
+    chunks_per_worker: int = 4
+    target_chunk_seconds: float = 80e-6
+    min_chunk: int = 1
+    name: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.chunks_per_worker <= 0:
+            raise ChunkingError("chunks_per_worker must be positive")
+        if self.target_chunk_seconds <= 0:
+            raise ChunkingError("target_chunk_seconds must be positive")
+        if self.min_chunk <= 0:
+            raise ChunkingError("min_chunk must be positive")
+
+    def determine_chunk_size(
+        self,
+        total_iterations: int,
+        num_workers: int,
+        time_per_iteration: Optional[float] = None,
+    ) -> int:
+        """The single chunk size this policy would use."""
+        self._validate(total_iterations, num_workers)
+        if total_iterations == 0:
+            return self.min_chunk
+        if time_per_iteration is not None and time_per_iteration > 0:
+            measured = int(round(self.target_chunk_seconds / time_per_iteration))
+        else:
+            measured = math.ceil(total_iterations / (num_workers * self.chunks_per_worker))
+        # Never produce fewer chunks than workers (that would idle workers),
+        # and never more chunks than iterations.
+        upper = max(self.min_chunk, math.ceil(total_iterations / num_workers))
+        return max(self.min_chunk, min(measured, upper))
+
+    def chunk_sizes(
+        self,
+        total_iterations: int,
+        num_workers: int,
+        *,
+        time_per_iteration: Optional[float] = None,
+        loop_key: Optional[str] = None,
+    ) -> list[int]:
+        size = self.determine_chunk_size(total_iterations, num_workers, time_per_iteration)
+        return split_into_chunks(total_iterations, size)
+
+
+@dataclass
+class GuidedChunkSize(ChunkSizePolicy):
+    """OpenMP-style guided scheduling: exponentially decreasing chunk sizes."""
+
+    min_chunk: int = 1
+    name: str = "guided"
+
+    def __post_init__(self) -> None:
+        if self.min_chunk <= 0:
+            raise ChunkingError("min_chunk must be positive")
+
+    def chunk_sizes(
+        self,
+        total_iterations: int,
+        num_workers: int,
+        *,
+        time_per_iteration: Optional[float] = None,
+        loop_key: Optional[str] = None,
+    ) -> list[int]:
+        self._validate(total_iterations, num_workers)
+        sizes: list[int] = []
+        remaining = total_iterations
+        while remaining > 0:
+            size = max(self.min_chunk, math.ceil(remaining / (2 * num_workers)))
+            size = min(size, remaining)
+            sizes.append(size)
+            remaining -= size
+        return sizes
+
+
+@dataclass
+class DynamicChunkSize(ChunkSizePolicy):
+    """Fixed-size chunks handed out dynamically (``dynamic_chunk_size``).
+
+    The chunk sizes are the same as :class:`StaticChunkSize`; the *assignment*
+    of chunks to workers is the dynamic part and is a property of the
+    executor/simulator, which inspects :attr:`dynamic_assignment`.
+    """
+
+    chunk_size: int = 256
+    name: str = "dynamic"
+    dynamic_assignment: bool = True
+
+    def __post_init__(self) -> None:
+        if self.chunk_size <= 0:
+            raise ChunkingError(f"chunk_size must be positive, got {self.chunk_size}")
+
+    def chunk_sizes(
+        self,
+        total_iterations: int,
+        num_workers: int,
+        *,
+        time_per_iteration: Optional[float] = None,
+        loop_key: Optional[str] = None,
+    ) -> list[int]:
+        self._validate(total_iterations, num_workers)
+        return split_into_chunks(total_iterations, self.chunk_size)
+
+
+class PersistentChunkRegistry:
+    """Shared state of one ``persistent_auto_chunk_size`` chain.
+
+    The first loop that asks for chunk sizes establishes the *persistent
+    target chunk duration*; every later loop (with its own, different
+    per-iteration time) sizes its chunks to hit the same duration.  The
+    registry also remembers measured per-iteration times per loop so the pure
+    runtime path (no cost model) can calibrate itself from the first chunk it
+    executes.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._target_chunk_seconds: Optional[float] = None
+        self._anchor_loop: Optional[str] = None
+        self._measurements: dict[str, float] = {}
+
+    # -- target management -------------------------------------------------------
+    @property
+    def target_chunk_seconds(self) -> Optional[float]:
+        """The persistent per-chunk duration, or ``None`` before calibration."""
+        with self._lock:
+            return self._target_chunk_seconds
+
+    @property
+    def anchor_loop(self) -> Optional[str]:
+        """The loop that established the persistent duration."""
+        with self._lock:
+            return self._anchor_loop
+
+    def establish_target(self, loop_key: str, chunk_seconds: float) -> float:
+        """Set the persistent duration if not already set; return the active one."""
+        if chunk_seconds <= 0:
+            raise ChunkingError("chunk duration must be positive")
+        with self._lock:
+            if self._target_chunk_seconds is None:
+                self._target_chunk_seconds = chunk_seconds
+                self._anchor_loop = loop_key
+            return self._target_chunk_seconds
+
+    def reset(self) -> None:
+        """Forget the persistent duration and all measurements."""
+        with self._lock:
+            self._target_chunk_seconds = None
+            self._anchor_loop = None
+            self._measurements.clear()
+
+    # -- measurements -----------------------------------------------------------
+    def register_measurement(self, loop_key: str, time_per_iteration: float) -> None:
+        """Record a measured/modelled per-iteration time for ``loop_key``."""
+        if time_per_iteration <= 0:
+            raise ChunkingError("time_per_iteration must be positive")
+        with self._lock:
+            self._measurements[loop_key] = time_per_iteration
+
+    def measurement(self, loop_key: str) -> Optional[float]:
+        """Previously recorded per-iteration time for ``loop_key``, if any."""
+        with self._lock:
+            return self._measurements.get(loop_key)
+
+
+@dataclass
+class PersistentAutoChunkSize(ChunkSizePolicy):
+    """The paper's new execution-policy parameter (Section IV-B).
+
+    Parameters
+    ----------
+    registry:
+        Shared :class:`PersistentChunkRegistry` for the chain of dependent
+        loops.  Loops sharing a registry share the persistent chunk duration.
+    auto:
+        The automatic policy used by the *first* loop to pick its chunk size.
+    """
+
+    registry: PersistentChunkRegistry
+    auto: AutoChunkSize = None  # type: ignore[assignment]
+    name: str = "persistent_auto"
+
+    def __post_init__(self) -> None:
+        if self.auto is None:
+            self.auto = AutoChunkSize()
+
+    def chunk_sizes(
+        self,
+        total_iterations: int,
+        num_workers: int,
+        *,
+        time_per_iteration: Optional[float] = None,
+        loop_key: Optional[str] = None,
+    ) -> list[int]:
+        self._validate(total_iterations, num_workers)
+        if total_iterations == 0:
+            return []
+        key = loop_key or "<anonymous>"
+        if time_per_iteration is None:
+            time_per_iteration = self.registry.measurement(key)
+        if time_per_iteration is None or time_per_iteration <= 0:
+            # Without any timing information we cannot do better than auto;
+            # the executor is expected to calibrate and re-ask.
+            return self.auto.chunk_sizes(total_iterations, num_workers)
+
+        target = self.registry.target_chunk_seconds
+        if target is None:
+            # First loop of the chain: chunk size chosen automatically, and its
+            # duration becomes the persistent target (Fig. 12b, "chunk1").
+            chunk = self.auto.determine_chunk_size(
+                total_iterations, num_workers, time_per_iteration
+            )
+            target = self.registry.establish_target(key, chunk * time_per_iteration)
+        chunk = max(1, int(round(target / time_per_iteration)))
+        chunk = min(chunk, total_iterations)
+        return split_into_chunks(total_iterations, chunk)

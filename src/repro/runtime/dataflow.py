@@ -1,0 +1,158 @@
+"""The ``dataflow`` construct and the ``unwrapped`` helper.
+
+Figure 6 of the paper: "a dataflow object encapsulates a function
+``F(in1, ..., inn)`` with *n* inputs from different data resources.  As soon
+as the last input argument has been received, the function F is scheduled for
+execution".  Because ``dataflow`` itself returns a future, chained calls form
+a dependency tree that the runtime executes as dependencies are met -- this is
+the mechanism that lets the redesigned OP2 interleave loops without global
+barriers.
+
+``unwrapped(f)`` mirrors ``hpx::util::unwrapped``: it marks ``f`` as wanting
+the *values* of any future arguments rather than the futures themselves.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, Optional
+
+from repro.errors import SchedulerError
+from repro.runtime.future import Future, SharedFuture, when_all
+from repro.runtime.policies import ExecutionPolicy
+from repro.runtime.scheduler import TaskScheduler, get_default_scheduler
+
+__all__ = ["dataflow", "unwrapped", "is_future"]
+
+_FUTURE_TYPES = (Future, SharedFuture)
+
+
+def is_future(value: Any) -> bool:
+    """True if ``value`` is a future or shared future."""
+    return isinstance(value, _FUTURE_TYPES)
+
+
+class _Unwrapped:
+    """Marker wrapper produced by :func:`unwrapped`."""
+
+    __slots__ = ("function",)
+
+    def __init__(self, function: Callable[..., Any]) -> None:
+        if isinstance(function, _Unwrapped):
+            function = function.function
+        if not callable(function):
+            raise SchedulerError(f"unwrapped() needs a callable, got {function!r}")
+        self.function = function
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        return self.function(*args, **kwargs)
+
+
+def unwrapped(function: Callable[..., Any]) -> _Unwrapped:
+    """Mark ``function`` so dataflow passes future *values* instead of futures."""
+    return _Unwrapped(function)
+
+
+def dataflow(
+    *args: Any,
+    scheduler: Optional[TaskScheduler] = None,
+    **kwargs: Any,
+) -> Future[Any]:
+    """Schedule ``func`` once all of its future inputs are ready.
+
+    Call patterns (mirroring HPX):
+
+    ``dataflow(func, *inputs)``
+        ``func`` runs when every future in ``inputs`` is ready.
+    ``dataflow(policy, func, *inputs)``
+        Same, but a task policy forces asynchronous execution on the
+        scheduler while a sequential policy runs the function inline on the
+        thread that satisfies the last input.
+
+    If ``func`` was wrapped with :func:`unwrapped`, future inputs are replaced
+    by their values before the call; otherwise futures are passed through
+    (shared futures as-is, plain futures converted to shared so the callee can
+    ``get()`` them safely).
+
+    Returns a future of the function's result.
+    """
+    if not args:
+        raise SchedulerError("dataflow() needs at least a callable argument")
+
+    policy: Optional[ExecutionPolicy] = None
+    rest = list(args)
+    if isinstance(rest[0], ExecutionPolicy):
+        policy = rest.pop(0)
+    if not rest:
+        raise SchedulerError("dataflow() missing the callable argument")
+    function = rest.pop(0)
+    inputs = tuple(rest)
+
+    wants_values = isinstance(function, _Unwrapped)
+    callee: Callable[..., Any] = function.function if wants_values else function
+    if not callable(callee):
+        raise SchedulerError(f"dataflow() first argument must be callable, got {callee!r}")
+
+    scheduler = scheduler if scheduler is not None else get_default_scheduler()
+    asynchronous = policy.is_task if policy is not None else False
+
+    # Convert plain futures into shared futures up-front so that waiting on
+    # them here does not consume them before the callee sees them.
+    prepared: list[Any] = []
+    future_inputs: list[SharedFuture] = []
+    for value in inputs:
+        if isinstance(value, Future):
+            shared = value.share()
+            prepared.append(shared)
+            future_inputs.append(shared)
+        elif isinstance(value, SharedFuture):
+            prepared.append(value)
+            future_inputs.append(value)
+        else:
+            prepared.append(value)
+
+    def invoke() -> Any:
+        call_args = []
+        for value in prepared:
+            if wants_values and isinstance(value, SharedFuture):
+                call_args.append(value.get())
+            else:
+                call_args.append(value)
+        return callee(*call_args, **kwargs)
+
+    gate = when_all(future_inputs)
+
+    if asynchronous:
+        result_future = gate.then(lambda _ready: scheduler.spawn(invoke))
+        # ``then`` gives Future[Future[T]]; flatten it.
+        return _flatten(result_future)
+    return gate.then(lambda _ready: invoke())
+
+
+def _flatten(future_of_future: Future[Any]) -> Future[Any]:
+    """Flatten ``Future[Future[T]]`` into ``Future[T]``."""
+    from repro.runtime.future import Promise
+
+    promise: Promise[Any] = Promise()
+
+    def outer_ready(outer: Future[Any]) -> None:
+        try:
+            inner = outer.get()
+        except BaseException as exc:  # noqa: BLE001
+            promise.set_exception(exc)
+            return
+        if not is_future(inner):
+            promise.set_value(inner)
+            return
+        shared = inner.share() if isinstance(inner, Future) else inner
+
+        def inner_ready(ready_inner: SharedFuture) -> None:
+            try:
+                promise.set_value(ready_inner.get())
+            except BaseException as exc:  # noqa: BLE001
+                promise.set_exception(exc)
+
+        shared.then(inner_ready)
+
+    future_of_future.then(outer_ready)
+    return promise.get_future()

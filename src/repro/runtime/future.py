@@ -1,0 +1,350 @@
+"""Futures and promises.
+
+These mirror the HPX constructs the paper builds on: a *future* is "a
+computational result that is initially unknown but becomes available at a
+later time"; threads access it with ``future.get()`` and only the threads
+that depend on the value are suspended (Section III-A of the paper).
+
+The implementation is thread-safe.  Continuations registered with
+:meth:`Future.then` run on the thread that satisfies the future (or inline if
+the future is already ready), which is how chained dataflow nodes propagate
+without any global barrier.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Generic, Iterable, Optional, Sequence, TypeVar
+
+from repro.errors import (
+    BrokenPromiseError,
+    FutureAlreadySatisfiedError,
+    FutureError,
+    FutureNotReadyError,
+)
+
+__all__ = [
+    "Promise",
+    "Future",
+    "SharedFuture",
+    "make_ready_future",
+    "make_exceptional_future",
+    "when_all",
+    "when_any",
+]
+
+T = TypeVar("T")
+_UNSET = object()
+
+
+class _SharedState(Generic[T]):
+    """State shared between a promise and the future(s) observing it."""
+
+    __slots__ = ("_lock", "_event", "_value", "_exception", "_callbacks")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._event = threading.Event()
+        self._value: Any = _UNSET
+        self._exception: Optional[BaseException] = None
+        self._callbacks: list[Callable[[], None]] = []
+
+    # -- producer side -------------------------------------------------------
+    def set_value(self, value: T) -> None:
+        with self._lock:
+            if self._event.is_set():
+                raise FutureAlreadySatisfiedError("future already satisfied")
+            self._value = value
+            callbacks = self._callbacks
+            self._callbacks = []
+            self._event.set()
+        for callback in callbacks:
+            callback()
+
+    def set_exception(self, exception: BaseException) -> None:
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"expected an exception instance, got {exception!r}")
+        with self._lock:
+            if self._event.is_set():
+                raise FutureAlreadySatisfiedError("future already satisfied")
+            self._exception = exception
+            callbacks = self._callbacks
+            self._callbacks = []
+            self._event.set()
+        for callback in callbacks:
+            callback()
+
+    # -- consumer side -------------------------------------------------------
+    def is_ready(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._event.wait(timeout)
+
+    def result(self, timeout: Optional[float] = None) -> T:
+        if not self._event.wait(timeout):
+            raise FutureNotReadyError("future not ready within timeout")
+        if self._exception is not None:
+            raise self._exception
+        return self._value  # type: ignore[return-value]
+
+    def exception(self) -> Optional[BaseException]:
+        if not self._event.is_set():
+            raise FutureNotReadyError("future not ready")
+        return self._exception
+
+    def add_callback(self, callback: Callable[[], None]) -> None:
+        run_now = False
+        with self._lock:
+            if self._event.is_set():
+                run_now = True
+            else:
+                self._callbacks.append(callback)
+        if run_now:
+            callback()
+
+
+class Promise(Generic[T]):
+    """Producer side of a future (``hpx::promise``)."""
+
+    def __init__(self) -> None:
+        self._state: _SharedState[T] = _SharedState()
+        self._future_retrieved = False
+
+    def get_future(self) -> "Future[T]":
+        """Return the future associated with this promise.
+
+        Like HPX, the future may only be retrieved once; use
+        :meth:`Future.share` for multiple consumers.
+        """
+        if self._future_retrieved:
+            raise FutureError("future already retrieved from this promise")
+        self._future_retrieved = True
+        return Future(self._state)
+
+    def set_value(self, value: T) -> None:
+        """Make the future ready with ``value``."""
+        self._state.set_value(value)
+
+    def set_exception(self, exception: BaseException) -> None:
+        """Make the future ready with an exception."""
+        self._state.set_exception(exception)
+
+    def is_ready(self) -> bool:
+        """True once a value or exception has been provided."""
+        return self._state.is_ready()
+
+    def break_promise(self) -> None:
+        """Abandon the promise; waiting consumers see :class:`BrokenPromiseError`."""
+        if not self._state.is_ready():
+            self._state.set_exception(BrokenPromiseError("promise was broken"))
+
+
+class Future(Generic[T]):
+    """Single-consumer future (``hpx::future``).
+
+    ``get()`` blocks until the value is available and *consumes* the future
+    (subsequent calls raise), mirroring HPX move semantics.  Use
+    :meth:`share` to obtain a :class:`SharedFuture` that can be read many
+    times -- the modified ``op_par_loop`` in the paper returns
+    ``hpx::shared_future<op_dat>`` for exactly this reason.
+    """
+
+    def __init__(self, state: Optional[_SharedState[T]] = None) -> None:
+        self._state = state if state is not None else _SharedState()
+        self._consumed = False
+
+    # -- state queries ---------------------------------------------------------
+    def valid(self) -> bool:
+        """True while the future still refers to a shared state."""
+        return not self._consumed
+
+    def is_ready(self) -> bool:
+        """Non-blocking readiness check."""
+        self._check_valid()
+        return self._state.is_ready()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until ready (or timeout); returns readiness."""
+        self._check_valid()
+        return self._state.wait(timeout)
+
+    # -- value access ------------------------------------------------------------
+    def get(self, timeout: Optional[float] = None) -> T:
+        """Block until ready and return the value, consuming the future."""
+        self._check_valid()
+        value = self._state.result(timeout)
+        self._consumed = True
+        return value
+
+    def exception(self) -> Optional[BaseException]:
+        """The stored exception, if the future is ready and failed."""
+        self._check_valid()
+        return self._state.exception()
+
+    def share(self) -> "SharedFuture[T]":
+        """Convert into a shared future (this future becomes invalid)."""
+        self._check_valid()
+        state = self._state
+        self._consumed = True
+        return SharedFuture(state)
+
+    # -- composition ---------------------------------------------------------------
+    def then(self, continuation: Callable[["Future[T]"], Any]) -> "Future[Any]":
+        """Attach a continuation; returns a future of its result.
+
+        The continuation receives *this* future (already ready) and runs on
+        whichever thread satisfied it, or immediately if already ready.
+        """
+        self._check_valid()
+        promise: Promise[Any] = Promise()
+        state = self._state
+        source: Future[T] = Future(state)
+
+        def run() -> None:
+            try:
+                promise.set_value(continuation(source))
+            except BaseException as exc:  # noqa: BLE001 - propagate into the future
+                promise.set_exception(exc)
+
+        state.add_callback(run)
+        self._consumed = True
+        return promise.get_future()
+
+    def _check_valid(self) -> None:
+        if self._consumed:
+            raise FutureError("future is no longer valid (already consumed)")
+
+    # internal access for dataflow/when_all
+    @property
+    def _shared_state(self) -> _SharedState[T]:
+        return self._state
+
+
+class SharedFuture(Generic[T]):
+    """Multi-consumer future (``hpx::shared_future``); ``get()`` never consumes."""
+
+    def __init__(self, state: Optional[_SharedState[T]] = None) -> None:
+        self._state = state if state is not None else _SharedState()
+
+    def valid(self) -> bool:
+        """Shared futures always remain valid."""
+        return True
+
+    def is_ready(self) -> bool:
+        """Non-blocking readiness check."""
+        return self._state.is_ready()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until ready (or timeout); returns readiness."""
+        return self._state.wait(timeout)
+
+    def get(self, timeout: Optional[float] = None) -> T:
+        """Block until ready and return the value (repeatable)."""
+        return self._state.result(timeout)
+
+    def exception(self) -> Optional[BaseException]:
+        """The stored exception, if the future is ready and failed."""
+        return self._state.exception()
+
+    def then(self, continuation: Callable[["SharedFuture[T]"], Any]) -> Future[Any]:
+        """Attach a continuation; returns a future of its result."""
+        promise: Promise[Any] = Promise()
+
+        def run() -> None:
+            try:
+                promise.set_value(continuation(self))
+            except BaseException as exc:  # noqa: BLE001
+                promise.set_exception(exc)
+
+        self._state.add_callback(run)
+        return promise.get_future()
+
+    @property
+    def _shared_state(self) -> _SharedState[T]:
+        return self._state
+
+
+AnyFuture = (Future, SharedFuture)
+
+
+def make_ready_future(value: T) -> Future[T]:
+    """A future that is already satisfied with ``value``."""
+    promise: Promise[T] = Promise()
+    promise.set_value(value)
+    return promise.get_future()
+
+
+def make_exceptional_future(exception: BaseException) -> Future[Any]:
+    """A future that is already satisfied with an exception."""
+    promise: Promise[Any] = Promise()
+    promise.set_exception(exception)
+    return promise.get_future()
+
+
+def when_all(*futures: "Future | SharedFuture | Iterable") -> Future[list]:
+    """A future of the list of input futures, ready when all of them are.
+
+    Accepts futures directly or a single iterable of futures.  The resulting
+    list contains the input futures themselves (as in HPX); combine with
+    :func:`repro.runtime.dataflow.unwrapped` to get values.
+    """
+    flat = _flatten_futures(futures)
+    promise: Promise[list] = Promise()
+    if not flat:
+        promise.set_value([])
+        return promise.get_future()
+
+    remaining = len(flat)
+    lock = threading.Lock()
+
+    def one_ready() -> None:
+        nonlocal remaining
+        with lock:
+            remaining -= 1
+            done = remaining == 0
+        if done:
+            promise.set_value(list(flat))
+
+    for future in flat:
+        future._shared_state.add_callback(one_ready)
+    return promise.get_future()
+
+
+def when_any(*futures: "Future | SharedFuture | Iterable") -> Future[tuple[int, object]]:
+    """A future of ``(index, future)`` for the first input future to become ready."""
+    flat = _flatten_futures(futures)
+    if not flat:
+        raise FutureError("when_any requires at least one future")
+    promise: Promise[tuple[int, object]] = Promise()
+    satisfied = threading.Event()
+
+    def make_callback(index: int, future: object) -> Callable[[], None]:
+        def callback() -> None:
+            if not satisfied.is_set():
+                satisfied.set()
+                try:
+                    promise.set_value((index, future))
+                except FutureAlreadySatisfiedError:
+                    pass
+
+        return callback
+
+    for index, future in enumerate(flat):
+        future._shared_state.add_callback(make_callback(index, future))
+    return promise.get_future()
+
+
+def _flatten_futures(items: Sequence) -> list:
+    flat: list = []
+    for item in items:
+        if isinstance(item, AnyFuture):
+            flat.append(item)
+        elif isinstance(item, Iterable) and not isinstance(item, (str, bytes)):
+            for sub in item:
+                if not isinstance(sub, AnyFuture):
+                    raise FutureError(f"when_all/when_any received a non-future: {sub!r}")
+                flat.append(sub)
+        else:
+            raise FutureError(f"when_all/when_any received a non-future: {item!r}")
+    return flat

@@ -1,0 +1,273 @@
+"""Local Control Objects (LCOs).
+
+The paper (Section III) describes LCOs as HPX's concurrency primitives:
+"various types of mutexes, semaphores, spinlocks, condition variables and
+barriers ... objects [that] have the ability to create, resume, or suspend a
+thread when triggered by one or more events".  This module provides the LCOs
+the reproduction uses directly (latch, barrier, counting semaphore, event,
+and-gate, channel); plain mutexes/condition variables are Python built-ins
+and are re-exported for completeness.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+from typing import Any, Deque, Generic, Optional, TypeVar
+
+from repro.errors import RuntimeStateError
+from repro.runtime.future import Future, Promise
+
+__all__ = [
+    "Latch",
+    "Barrier",
+    "CountingSemaphore",
+    "Event",
+    "AndGate",
+    "Channel",
+    "Mutex",
+    "ConditionVariable",
+]
+
+T = TypeVar("T")
+
+#: HPX ``hpx::mutex`` -- Python's lock is the direct equivalent.
+Mutex = threading.Lock
+#: HPX ``hpx::condition_variable``.
+ConditionVariable = threading.Condition
+
+
+class Latch:
+    """A single-use countdown latch (``hpx::latch``).
+
+    Constructed with a count; :meth:`count_down` decrements it and
+    :meth:`wait` blocks until the count reaches zero.
+    """
+
+    def __init__(self, count: int) -> None:
+        if count < 0:
+            raise RuntimeStateError(f"latch count must be non-negative, got {count}")
+        self._count = count
+        self._condition = threading.Condition()
+
+    @property
+    def count(self) -> int:
+        """Remaining count."""
+        with self._condition:
+            return self._count
+
+    def count_down(self, n: int = 1) -> None:
+        """Decrement the latch by ``n`` (never below zero is allowed)."""
+        if n <= 0:
+            raise RuntimeStateError(f"count_down amount must be positive, got {n}")
+        with self._condition:
+            if n > self._count:
+                raise RuntimeStateError(
+                    f"count_down({n}) would drop latch below zero (count={self._count})"
+                )
+            self._count -= n
+            if self._count == 0:
+                self._condition.notify_all()
+
+    def is_ready(self) -> bool:
+        """True once the count has reached zero."""
+        with self._condition:
+            return self._count == 0
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the count reaches zero; returns readiness."""
+        with self._condition:
+            return self._condition.wait_for(lambda: self._count == 0, timeout)
+
+    def arrive_and_wait(self, timeout: Optional[float] = None) -> bool:
+        """Decrement by one, then wait for the latch to open."""
+        self.count_down(1)
+        return self.wait(timeout)
+
+
+class Barrier:
+    """A reusable thread barrier (``hpx::barrier``) with arrival counting."""
+
+    def __init__(self, parties: int) -> None:
+        if parties <= 0:
+            raise RuntimeStateError(f"barrier needs a positive party count, got {parties}")
+        self.parties = parties
+        self._barrier = threading.Barrier(parties)
+        self._generations = 0
+        self._lock = threading.Lock()
+
+    @property
+    def generations(self) -> int:
+        """How many times the barrier has been released."""
+        with self._lock:
+            return self._generations
+
+    def arrive_and_wait(self, timeout: Optional[float] = None) -> int:
+        """Wait at the barrier; returns the arrival index within this generation."""
+        index = self._barrier.wait(timeout)
+        if index == 0:
+            with self._lock:
+                self._generations += 1
+        return index
+
+    def abort(self) -> None:
+        """Break the barrier, releasing waiters with an error."""
+        self._barrier.abort()
+
+
+class CountingSemaphore:
+    """A counting semaphore (``hpx::counting_semaphore``)."""
+
+    def __init__(self, initial: int = 0) -> None:
+        if initial < 0:
+            raise RuntimeStateError("semaphore initial count must be non-negative")
+        self._semaphore = threading.Semaphore(initial)
+        self._count = initial
+        self._lock = threading.Lock()
+
+    def signal(self, n: int = 1) -> None:
+        """Release ``n`` units."""
+        if n <= 0:
+            raise RuntimeStateError("signal amount must be positive")
+        with self._lock:
+            self._count += n
+        for _ in range(n):
+            self._semaphore.release()
+
+    def wait(self, n: int = 1, timeout: Optional[float] = None) -> bool:
+        """Acquire ``n`` units; returns False on timeout (units re-released)."""
+        if n <= 0:
+            raise RuntimeStateError("wait amount must be positive")
+        acquired = 0
+        for _ in range(n):
+            if not self._semaphore.acquire(timeout=timeout):
+                for _ in range(acquired):
+                    self._semaphore.release()
+                return False
+            acquired += 1
+        with self._lock:
+            self._count -= n
+        return True
+
+    def try_wait(self, n: int = 1) -> bool:
+        """Non-blocking acquire of ``n`` units."""
+        return self.wait(n, timeout=0)
+
+
+class Event:
+    """A manual-reset event LCO; waiting threads resume when it is set."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def set(self) -> None:
+        """Signal the event, resuming all waiters."""
+        self._event.set()
+
+    def reset(self) -> None:
+        """Clear the event."""
+        self._event.clear()
+
+    def occurred(self) -> bool:
+        """True if the event has been signalled."""
+        return self._event.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the event occurs; returns whether it did."""
+        return self._event.wait(timeout)
+
+
+class AndGate:
+    """An and-gate LCO: a future that becomes ready after ``count`` triggers.
+
+    Used internally by dataflow-style synchronisation: every input event
+    calls :meth:`set`, and the gate's future becomes ready when all inputs
+    have arrived.
+    """
+
+    def __init__(self, count: int) -> None:
+        if count <= 0:
+            raise RuntimeStateError(f"and-gate needs a positive input count, got {count}")
+        self._remaining = count
+        self._lock = threading.Lock()
+        self._promise: Promise[int] = Promise()
+        self._future = self._promise.get_future().share()
+
+    def set(self, n: int = 1) -> None:
+        """Signal ``n`` of the gate's inputs."""
+        if n <= 0:
+            raise RuntimeStateError("and-gate trigger amount must be positive")
+        fire = False
+        with self._lock:
+            if self._remaining <= 0:
+                raise RuntimeStateError("and-gate already open")
+            self._remaining -= n
+            if self._remaining < 0:
+                raise RuntimeStateError("and-gate triggered more times than its count")
+            fire = self._remaining == 0
+        if fire:
+            self._promise.set_value(0)
+
+    def get_future(self):
+        """Shared future that becomes ready when the gate opens."""
+        return self._future
+
+
+class Channel(Generic[T]):
+    """A multi-producer / multi-consumer channel LCO.
+
+    ``get`` returns a :class:`~repro.runtime.future.Future` for the next
+    value; if a value is already buffered the future is ready immediately,
+    otherwise it becomes ready when a producer calls :meth:`set`.  Closing the
+    channel makes all pending and subsequent gets fail.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._values: Deque[T] = collections.deque()
+        self._waiters: Deque[Promise[T]] = collections.deque()
+        self._closed = False
+
+    def set(self, value: T) -> None:
+        """Send a value into the channel."""
+        waiter: Optional[Promise[T]] = None
+        with self._lock:
+            if self._closed:
+                raise RuntimeStateError("channel is closed")
+            if self._waiters:
+                waiter = self._waiters.popleft()
+            else:
+                self._values.append(value)
+        if waiter is not None:
+            waiter.set_value(value)
+
+    def get(self) -> Future[T]:
+        """Receive the next value as a future."""
+        with self._lock:
+            if self._values:
+                value = self._values.popleft()
+                promise: Promise[T] = Promise()
+                promise.set_value(value)
+                return promise.get_future()
+            if self._closed:
+                promise = Promise()
+                promise.set_exception(RuntimeStateError("channel is closed"))
+                return promise.get_future()
+            promise = Promise()
+            self._waiters.append(promise)
+            return promise.get_future()
+
+    def close(self) -> None:
+        """Close the channel; pending waiters receive an error."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            waiters = list(self._waiters)
+            self._waiters.clear()
+        for waiter in waiters:
+            waiter.set_exception(RuntimeStateError("channel is closed"))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._values)

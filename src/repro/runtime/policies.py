@@ -1,0 +1,154 @@
+"""Execution policies (the paper's Table I).
+
+HPX algorithms take an execution policy that decides whether they run
+sequentially or in parallel, and whether the call is synchronous or returns a
+future ("task" variants):
+
+========== ============================================ ==============
+policy      description                                  implemented by
+========== ============================================ ==============
+seq         sequential execution                         Parallelism TS, HPX
+par         parallel execution                           Parallelism TS, HPX
+par_vec     parallel and vectorised execution            Parallelism TS
+seq(task)   sequential and asynchronous execution        HPX
+par(task)   parallel and asynchronous execution          HPX
+========== ============================================ ==============
+
+Policies are immutable; ``policy(task)``, ``policy.on(scheduler)`` and
+``policy.with_(chunker)`` return modified copies, mirroring HPX's
+``par(task)``, ``.on(executor)`` and ``.with(chunk_size)`` spellings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.errors import PolicyError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.runtime.chunking import ChunkSizePolicy
+    from repro.runtime.scheduler import TaskScheduler
+
+__all__ = [
+    "ExecutionPolicy",
+    "task",
+    "seq",
+    "par",
+    "par_vec",
+    "seq_task",
+    "par_task",
+    "execution_policy_table",
+]
+
+
+class _TaskMarker:
+    """Singleton marker passed as ``policy(task)`` to request asynchrony."""
+
+    _instance: "_TaskMarker | None" = None
+
+    def __new__(cls) -> "_TaskMarker":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "task"
+
+
+#: The ``task`` marker: ``par(task)`` means "parallel and asynchronous".
+task = _TaskMarker()
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """An immutable execution policy.
+
+    Attributes
+    ----------
+    name:
+        Base name (``seq``, ``par``, ``par_vec``).
+    parallel:
+        Whether the algorithm may use more than one worker.
+    vectorized:
+        Whether per-chunk bodies may be vectorised (informational; the NumPy
+        kernels are always vectorised within a chunk).
+    is_task:
+        Whether algorithm invocations return futures instead of blocking.
+    scheduler / chunker:
+        Optional overrides attached via :meth:`on` / :meth:`with_`.
+    """
+
+    name: str
+    parallel: bool
+    vectorized: bool = False
+    is_task: bool = False
+    scheduler: Optional["TaskScheduler"] = field(default=None, compare=False)
+    chunker: Optional["ChunkSizePolicy"] = field(default=None, compare=False)
+
+    # -- HPX-style modifiers ------------------------------------------------------
+    def __call__(self, marker: Any) -> "ExecutionPolicy":
+        """``policy(task)`` returns the asynchronous variant of the policy."""
+        if marker is not task:
+            raise PolicyError(
+                f"execution policies only accept the `task` marker, got {marker!r}"
+            )
+        return replace(self, is_task=True)
+
+    def on(self, scheduler: "TaskScheduler") -> "ExecutionPolicy":
+        """Bind the policy to a specific scheduler (``par.on(executor)``)."""
+        from repro.runtime.scheduler import TaskScheduler  # local to avoid cycle
+
+        if not isinstance(scheduler, TaskScheduler):
+            raise PolicyError(f"on() expects a TaskScheduler, got {scheduler!r}")
+        return replace(self, scheduler=scheduler)
+
+    def with_(self, chunker: "ChunkSizePolicy") -> "ExecutionPolicy":
+        """Attach a chunk-size policy (``par.with(persistent_auto_chunk_size)``)."""
+        from repro.runtime.chunking import ChunkSizePolicy  # local to avoid cycle
+
+        if not isinstance(chunker, ChunkSizePolicy):
+            raise PolicyError(f"with_() expects a ChunkSizePolicy, got {chunker!r}")
+        return replace(self, chunker=chunker)
+
+    # -- descriptions --------------------------------------------------------------
+    @property
+    def label(self) -> str:
+        """Human-readable policy name, e.g. ``par(task)``."""
+        return f"{self.name}(task)" if self.is_task else self.name
+
+    def describe(self) -> dict[str, str]:
+        """Row of Table I corresponding to this policy."""
+        description = {
+            ("seq", False): "sequential execution",
+            ("par", False): "parallel execution",
+            ("par_vec", False): "parallel and vectorized execution",
+            ("seq", True): "sequential and asynchronous execution",
+            ("par", True): "parallel and asynchronous execution",
+            ("par_vec", True): "parallel, vectorized and asynchronous execution",
+        }[(self.name, self.is_task)]
+        implemented_by = "Parallelism TS" if self.name == "par_vec" and not self.is_task else (
+            "Parallelism TS, HPX" if not self.is_task else "HPX"
+        )
+        return {
+            "policy": self.label,
+            "description": description,
+            "implemented_by": implemented_by,
+        }
+
+
+#: Sequential execution.
+seq = ExecutionPolicy(name="seq", parallel=False)
+#: Parallel execution.
+par = ExecutionPolicy(name="par", parallel=True)
+#: Parallel and vectorised execution.
+par_vec = ExecutionPolicy(name="par_vec", parallel=True, vectorized=True)
+#: Sequential and asynchronous execution (``seq(task)``).
+seq_task = seq(task)
+#: Parallel and asynchronous execution (``par(task)``).
+par_task = par(task)
+
+
+def execution_policy_table() -> list[dict[str, str]]:
+    """The rows of the paper's Table I."""
+    return [policy.describe() for policy in (seq, par, par_vec, seq_task, par_task)]

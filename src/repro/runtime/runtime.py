@@ -1,0 +1,107 @@
+"""Runtime lifecycle management.
+
+HPX applications start the runtime (``hpx_main``), which owns the worker
+threads, and shut it down at the end.  :class:`HPXRuntime` plays that role
+here: entering the context installs a :class:`WorkStealingScheduler` with the
+requested number of workers as the process default (so ``dataflow`` and the
+parallel algorithms pick it up implicitly), and leaving it restores whatever
+was installed before.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Optional
+
+from repro.errors import RuntimeStateError
+from repro.runtime.scheduler import (
+    ImmediateScheduler,
+    TaskScheduler,
+    WorkStealingScheduler,
+    get_default_scheduler,
+    set_default_scheduler,
+)
+
+__all__ = ["HPXRuntime", "runtime_session"]
+
+
+class HPXRuntime:
+    """Context manager that owns the worker pool for a scope.
+
+    Parameters
+    ----------
+    num_worker_threads:
+        Number of OS workers.  ``0`` (or ``1`` with ``inline=True``) installs
+        an :class:`ImmediateScheduler` instead of a pool, which is useful for
+        deterministic tests.
+    inline:
+        Force inline execution regardless of ``num_worker_threads``.
+    """
+
+    def __init__(self, num_worker_threads: int = 4, *, inline: bool = False) -> None:
+        if num_worker_threads < 0:
+            raise RuntimeStateError("num_worker_threads must be non-negative")
+        self.num_worker_threads = num_worker_threads
+        self.inline = inline or num_worker_threads == 0
+        self._scheduler: Optional[TaskScheduler] = None
+        self._previous: Optional[TaskScheduler] = None
+        self._running = False
+
+    # -- lifecycle -------------------------------------------------------------
+    def start(self) -> TaskScheduler:
+        """Start the runtime and install its scheduler as the default."""
+        if self._running:
+            raise RuntimeStateError("runtime already running")
+        if self.inline:
+            self._scheduler = ImmediateScheduler()
+        else:
+            self._scheduler = WorkStealingScheduler(self.num_worker_threads)
+        self._previous = set_default_scheduler(self._scheduler)
+        self._running = True
+        return self._scheduler
+
+    def stop(self) -> None:
+        """Drain outstanding work, shut down the pool, restore the previous default."""
+        if not self._running:
+            return
+        assert self._scheduler is not None
+        self._scheduler.shutdown(wait=True)
+        if self._previous is not None:
+            set_default_scheduler(self._previous)
+        self._running = False
+
+    # -- queries -----------------------------------------------------------------
+    @property
+    def scheduler(self) -> TaskScheduler:
+        """The scheduler owned by this runtime (must be running)."""
+        if not self._running or self._scheduler is None:
+            raise RuntimeStateError("runtime is not running")
+        return self._scheduler
+
+    @property
+    def is_running(self) -> bool:
+        """True between :meth:`start` and :meth:`stop`."""
+        return self._running
+
+    def get_num_worker_threads(self) -> int:
+        """Number of workers of the active scheduler."""
+        return self.scheduler.num_workers
+
+    # -- context protocol ----------------------------------------------------------
+    def __enter__(self) -> "HPXRuntime":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+@contextlib.contextmanager
+def runtime_session(num_worker_threads: int = 4, *, inline: bool = False) -> Iterator[HPXRuntime]:
+    """Function-style alternative to ``with HPXRuntime(...)``."""
+    runtime = HPXRuntime(num_worker_threads, inline=inline)
+    runtime.start()
+    try:
+        yield runtime
+    finally:
+        runtime.stop()

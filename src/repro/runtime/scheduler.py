@@ -1,0 +1,244 @@
+"""Task schedulers.
+
+Two schedulers implement the :class:`TaskScheduler` interface:
+
+:class:`ImmediateScheduler`
+    Runs every task inline on the calling thread.  Deterministic; the default
+    for unit tests and for the simulated-timing execution path (where
+    overlap is modelled by :mod:`repro.sim`, not by real threads).
+
+:class:`WorkStealingScheduler`
+    A pool of OS worker threads, each with its own deque; idle workers steal
+    from the back of victims' deques.  This mirrors HPX's default
+    local-priority work-stealing policy closely enough to demonstrate genuine
+    asynchronous overlap in the examples.
+
+A process-wide default scheduler is kept so that ``dataflow`` and the
+parallel algorithms can be used without threading a scheduler object through
+every call, exactly like HPX's implicit runtime.
+"""
+
+from __future__ import annotations
+
+import collections
+import random
+import threading
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Deque, Optional
+
+from repro.errors import RuntimeStateError, SchedulerError
+from repro.runtime.future import Future
+from repro.runtime.threads import Task, TaskStats
+
+__all__ = [
+    "TaskScheduler",
+    "ImmediateScheduler",
+    "WorkStealingScheduler",
+    "get_default_scheduler",
+    "set_default_scheduler",
+    "reset_default_scheduler",
+]
+
+
+class TaskScheduler(ABC):
+    """Interface every scheduler implements."""
+
+    def __init__(self) -> None:
+        self.stats = TaskStats()
+
+    @abstractmethod
+    def spawn(self, function: Callable[..., Any], *args: Any, **kwargs: Any) -> Future[Any]:
+        """Schedule ``function(*args, **kwargs)``; return a future of its result."""
+
+    def spawn_task(self, task: Task) -> Future[Any]:
+        """Schedule a pre-built :class:`Task`; default delegates to :meth:`spawn`."""
+        future = task.get_future()
+        self._submit(task)
+        return future
+
+    @abstractmethod
+    def _submit(self, task: Task) -> None:
+        """Enqueue a task for execution."""
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting tasks; optionally wait for in-flight work."""
+
+    @property
+    def num_workers(self) -> int:
+        """Number of OS workers backing this scheduler (1 for inline)."""
+        return 1
+
+
+class ImmediateScheduler(TaskScheduler):
+    """Runs tasks synchronously on the calling thread."""
+
+    def spawn(self, function: Callable[..., Any], *args: Any, **kwargs: Any) -> Future[Any]:
+        task = Task(function, *args, **kwargs)
+        return self.spawn_task(task)
+
+    def _submit(self, task: Task) -> None:
+        self.stats.spawned += 1
+        task.run()
+        self.stats.executed += 1
+        if task.get_future is None:  # pragma: no cover - defensive
+            raise SchedulerError("task lost its future")
+
+
+class _Worker(threading.Thread):
+    """One worker of the work-stealing pool."""
+
+    def __init__(self, pool: "WorkStealingScheduler", index: int) -> None:
+        super().__init__(name=f"repro-hpx-worker-{index}", daemon=True)
+        self.pool = pool
+        self.index = index
+        self.deque: Deque[Task] = collections.deque()
+        self.lock = threading.Lock()
+
+    def push(self, task: Task) -> None:
+        with self.lock:
+            self.deque.append(task)
+
+    def pop_local(self) -> Optional[Task]:
+        with self.lock:
+            if self.deque:
+                return self.deque.pop()
+        return None
+
+    def steal(self) -> Optional[Task]:
+        with self.lock:
+            if self.deque:
+                return self.deque.popleft()
+        return None
+
+    def run(self) -> None:  # pragma: no cover - exercised via integration tests
+        pool = self.pool
+        rng = random.Random(self.index * 7919 + 17)
+        while True:
+            task = self.pop_local()
+            if task is None:
+                task = pool._steal_for(self, rng)
+            if task is None:
+                if pool._shutdown.is_set():
+                    return
+                pool._work_available.wait(timeout=0.01)
+                pool._work_available.clear()
+                continue
+            task.run()
+            with pool._pending_lock:
+                pool.stats.executed += 1
+                pool._pending -= 1
+                if pool._pending == 0:
+                    pool._idle.set()
+
+
+class WorkStealingScheduler(TaskScheduler):
+    """A work-stealing thread pool scheduler.
+
+    Parameters
+    ----------
+    num_workers:
+        Number of OS worker threads.
+    """
+
+    def __init__(self, num_workers: int = 4) -> None:
+        super().__init__()
+        if num_workers <= 0:
+            raise SchedulerError(f"num_workers must be positive, got {num_workers}")
+        self._num_workers = num_workers
+        self._workers = [_Worker(self, i) for i in range(num_workers)]
+        self._next_worker = 0
+        self._submit_lock = threading.Lock()
+        self._pending_lock = threading.Lock()
+        self._pending = 0
+        self._idle = threading.Event()
+        self._idle.set()
+        self._work_available = threading.Event()
+        self._shutdown = threading.Event()
+        for worker in self._workers:
+            worker.start()
+
+    @property
+    def num_workers(self) -> int:
+        return self._num_workers
+
+    def spawn(self, function: Callable[..., Any], *args: Any, **kwargs: Any) -> Future[Any]:
+        task = Task(function, *args, **kwargs)
+        return self.spawn_task(task)
+
+    def _submit(self, task: Task) -> None:
+        if self._shutdown.is_set():
+            raise RuntimeStateError("scheduler has been shut down")
+        with self._pending_lock:
+            self.stats.spawned += 1
+            self._pending += 1
+            self._idle.clear()
+        with self._submit_lock:
+            worker = self._workers[self._next_worker]
+            self._next_worker = (self._next_worker + 1) % self._num_workers
+        worker.push(task)
+        self._work_available.set()
+
+    def _steal_for(self, thief: _Worker, rng: random.Random) -> Optional[Task]:
+        """Attempt to steal a task for ``thief`` from a random victim."""
+        order = list(range(self._num_workers))
+        rng.shuffle(order)
+        for victim_index in order:
+            if victim_index == thief.index:
+                continue
+            task = self._workers[victim_index].steal()
+            if task is not None:
+                with self._pending_lock:
+                    self.stats.stolen += 1
+                return task
+        return None
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until every submitted task has completed."""
+        return self._idle.wait(timeout)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the pool; with ``wait=True`` drain outstanding work first."""
+        if wait:
+            self.wait_idle()
+        self._shutdown.set()
+        self._work_available.set()
+        for worker in self._workers:
+            worker.join(timeout=1.0)
+
+
+# ---------------------------------------------------------------------------
+# Process-wide default scheduler
+# ---------------------------------------------------------------------------
+_default_scheduler: TaskScheduler | None = None
+_default_lock = threading.Lock()
+
+
+def get_default_scheduler() -> TaskScheduler:
+    """The process-wide scheduler used when none is passed explicitly.
+
+    Defaults to an :class:`ImmediateScheduler`; the :class:`HPXRuntime`
+    context manager installs a :class:`WorkStealingScheduler` for its scope.
+    """
+    global _default_scheduler
+    with _default_lock:
+        if _default_scheduler is None:
+            _default_scheduler = ImmediateScheduler()
+        return _default_scheduler
+
+
+def set_default_scheduler(scheduler: TaskScheduler) -> TaskScheduler:
+    """Install ``scheduler`` as the process default; returns the previous one."""
+    global _default_scheduler
+    if not isinstance(scheduler, TaskScheduler):
+        raise SchedulerError(f"expected a TaskScheduler, got {scheduler!r}")
+    with _default_lock:
+        previous = _default_scheduler if _default_scheduler is not None else ImmediateScheduler()
+        _default_scheduler = scheduler
+        return previous
+
+
+def reset_default_scheduler() -> None:
+    """Restore the default (immediate) scheduler."""
+    global _default_scheduler
+    with _default_lock:
+        _default_scheduler = None

@@ -1,0 +1,116 @@
+"""HPX-thread (task) abstraction.
+
+HPX schedules lightweight user-level threads; a scheduler decides which OS
+worker runs each of them.  In this reproduction a :class:`Task` is the
+lightweight-thread descriptor: the callable plus book-keeping (state,
+identity, the promise its result flows into).  Schedulers in
+:mod:`repro.runtime.scheduler` consume these descriptors.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import RuntimeStateError
+from repro.runtime.future import Future, Promise
+
+__all__ = ["ThreadState", "Task", "TaskStats"]
+
+_task_ids = itertools.count()
+
+
+class ThreadState(enum.Enum):
+    """Lifecycle states of an HPX lightweight thread."""
+
+    PENDING = "pending"
+    ACTIVE = "active"
+    SUSPENDED = "suspended"
+    TERMINATED = "terminated"
+    FAILED = "failed"
+
+
+@dataclass
+class TaskStats:
+    """Aggregate counters a scheduler keeps about the tasks it ran."""
+
+    spawned: int = 0
+    executed: int = 0
+    failed: int = 0
+    stolen: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """A plain-dict copy (handy for assertions and reports)."""
+        return {
+            "spawned": self.spawned,
+            "executed": self.executed,
+            "failed": self.failed,
+            "stolen": self.stolen,
+        }
+
+
+class Task:
+    """One lightweight thread: a callable, its arguments and its future."""
+
+    __slots__ = (
+        "task_id",
+        "function",
+        "args",
+        "kwargs",
+        "promise",
+        "_state",
+        "_state_lock",
+        "description",
+    )
+
+    def __init__(
+        self,
+        function: Callable[..., Any],
+        *args: Any,
+        description: str = "",
+        **kwargs: Any,
+    ) -> None:
+        if not callable(function):
+            raise RuntimeStateError(f"task function must be callable, got {function!r}")
+        self.task_id = next(_task_ids)
+        self.function = function
+        self.args = args
+        self.kwargs = kwargs
+        self.promise: Promise[Any] = Promise()
+        self._state = ThreadState.PENDING
+        self._state_lock = threading.Lock()
+        self.description = description or getattr(function, "__name__", "task")
+
+    # -- state ---------------------------------------------------------------
+    @property
+    def state(self) -> ThreadState:
+        """Current lifecycle state."""
+        with self._state_lock:
+            return self._state
+
+    def _set_state(self, state: ThreadState) -> None:
+        with self._state_lock:
+            self._state = state
+
+    # -- execution -----------------------------------------------------------
+    def get_future(self) -> Future[Any]:
+        """The future that will carry this task's result."""
+        return self.promise.get_future()
+
+    def run(self) -> None:
+        """Execute the task, routing the result/exception into its promise."""
+        self._set_state(ThreadState.ACTIVE)
+        try:
+            result = self.function(*self.args, **self.kwargs)
+        except BaseException as exc:  # noqa: BLE001 - result channel
+            self._set_state(ThreadState.FAILED)
+            self.promise.set_exception(exc)
+        else:
+            self._set_state(ThreadState.TERMINATED)
+            self.promise.set_value(result)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Task(id={self.task_id}, {self.description!r}, state={self.state.value})"

@@ -1,0 +1,75 @@
+"""Discrete-event machine model used to *time* the reproduced experiments.
+
+The paper's evaluation ran on a two-socket Xeon E5-2630 testbed; this package
+replaces that hardware with a calibrated performance model so the benchmark
+harness can reproduce the *shape* of the paper's figures (who wins, by what
+factor, where the crossovers are) on any host, independently of the CPython
+GIL and of how many real cores are available.
+
+Public surface
+--------------
+:class:`~repro.sim.machine.Machine` / :class:`~repro.sim.machine.MachineConfig`
+    The simulated shared-memory machine (cores, SMT, clock, caches, DRAM).
+:class:`~repro.sim.cache.CacheModel`
+    Set-associative LRU cache with line-granular accounting and software
+    prefetch support.
+:class:`~repro.sim.cost.KernelCostModel` / :class:`~repro.sim.cost.ChunkCost`
+    Per-chunk compute/memory cost estimation.
+:class:`~repro.sim.scheduler_sim.TaskGraph` /
+:func:`~repro.sim.scheduler_sim.simulate_schedule`
+    List-scheduling of a task DAG onto the machine, with either global
+    barriers (OpenMP-style) or pure dataflow dependencies (HPX-style).
+:class:`~repro.sim.trace.ExecutionTrace`
+    Per-task execution records plus idle/barrier accounting.
+:mod:`repro.sim.metrics`
+    Derived metrics: runtimes, speedups, achieved bandwidth.
+"""
+
+from repro.sim.cache import CacheConfig, CacheModel, CacheStats
+from repro.sim.cost import ChunkCost, KernelCostModel, KernelProfile
+from repro.sim.events import Event, EventQueue, SimClock
+from repro.sim.machine import Machine, MachineConfig
+from repro.sim.memory import MemoryModel, MemoryRequest
+from repro.sim.metrics import (
+    BandwidthSeries,
+    ScalingSeries,
+    achieved_bandwidth_gbs,
+    parallel_efficiency,
+    speedup_series,
+)
+from repro.sim.scheduler_sim import (
+    ScheduleMode,
+    ScheduleResult,
+    SimTask,
+    TaskGraph,
+    simulate_schedule,
+)
+from repro.sim.trace import ExecutionTrace, TaskRecord
+
+__all__ = [
+    "CacheConfig",
+    "CacheModel",
+    "CacheStats",
+    "ChunkCost",
+    "KernelCostModel",
+    "KernelProfile",
+    "Event",
+    "EventQueue",
+    "SimClock",
+    "Machine",
+    "MachineConfig",
+    "MemoryModel",
+    "MemoryRequest",
+    "BandwidthSeries",
+    "ScalingSeries",
+    "achieved_bandwidth_gbs",
+    "parallel_efficiency",
+    "speedup_series",
+    "ScheduleMode",
+    "ScheduleResult",
+    "SimTask",
+    "TaskGraph",
+    "simulate_schedule",
+    "ExecutionTrace",
+    "TaskRecord",
+]

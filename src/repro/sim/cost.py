@@ -1,0 +1,367 @@
+"""Per-chunk cost model.
+
+Every experiment in the paper ultimately measures how long chunks of loop
+iterations take and how they overlap.  This module turns a *kernel profile*
+(how much computation and memory traffic one element of a given OP2 kernel
+needs) plus a chunk size into a :class:`ChunkCost` -- compute seconds, memory
+stall seconds, fixed overhead seconds and bytes moved -- on a given
+:class:`~repro.sim.machine.Machine`.
+
+The same cost model is used by the OpenMP-style baseline and the HPX-style
+dataflow executor, so differences between the two come exclusively from
+*scheduling* (barriers, chunk-size mismatch, prefetch latency hiding), which
+is exactly the claim the paper makes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.errors import SimulationError
+from repro.sim.cache import streaming_miss_fraction
+from repro.sim.machine import Machine
+from repro.sim.memory import MemoryModel, MemoryRequest
+
+__all__ = ["KernelProfile", "PrefetchSpec", "ChunkCost", "KernelCostModel"]
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """Static cost characteristics of one element of a kernel.
+
+    Attributes
+    ----------
+    name:
+        Kernel name (``save_soln``, ``res_calc``, ...).
+    cycles_per_element:
+        Arithmetic/issue cycles for one element, excluding memory stalls.
+    bytes_read_per_element / bytes_written_per_element:
+        Memory traffic per element summed over all containers the kernel
+        touches.
+    num_containers:
+        How many distinct containers (op_dats) the kernel streams through;
+        used by the prefetcher model (each container needs its own prefetch
+        stream, as in ``make_prefetcher_context(..., container_1, ...,
+        container_n)``).
+    reuse_fraction:
+        Fraction of accessed lines expected to already be resident due to
+        indirect reuse (edge kernels revisiting cell data).
+    imbalance:
+        Relative amplitude of per-chunk execution-time jitter in ``[0, 1)``;
+        models variable work per block in unstructured meshes.  Barriers
+        amplify this, dataflow absorbs it.
+    """
+
+    name: str
+    cycles_per_element: float
+    bytes_read_per_element: float
+    bytes_written_per_element: float
+    num_containers: int = 2
+    reuse_fraction: float = 0.0
+    imbalance: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.cycles_per_element < 0:
+            raise SimulationError("cycles_per_element must be non-negative")
+        if self.bytes_read_per_element < 0 or self.bytes_written_per_element < 0:
+            raise SimulationError("per-element byte counts must be non-negative")
+        if self.num_containers <= 0:
+            raise SimulationError("num_containers must be positive")
+        if not 0.0 <= self.reuse_fraction <= 1.0:
+            raise SimulationError("reuse_fraction must be in [0, 1]")
+        if not 0.0 <= self.imbalance < 1.0:
+            raise SimulationError("imbalance must be in [0, 1)")
+
+    @property
+    def bytes_per_element(self) -> float:
+        """Total per-element traffic."""
+        return self.bytes_read_per_element + self.bytes_written_per_element
+
+    def scaled(self, factor: float) -> "KernelProfile":
+        """Return a profile with compute and traffic scaled by ``factor``."""
+        if factor <= 0:
+            raise SimulationError("scale factor must be positive")
+        return replace(
+            self,
+            cycles_per_element=self.cycles_per_element * factor,
+            bytes_read_per_element=self.bytes_read_per_element * factor,
+            bytes_written_per_element=self.bytes_written_per_element * factor,
+        )
+
+
+@dataclass(frozen=True)
+class PrefetchSpec:
+    """Prefetcher configuration for a chunk.
+
+    ``distance_factor`` is the paper's ``prefetch_distance_factor``: how many
+    iterations ahead of the current one the prefetching iterator requests the
+    cache lines of every container.  ``enabled=False`` reproduces the
+    standard random-access-iterator behaviour of ``hpx::parallel::for_each``.
+    """
+
+    enabled: bool = False
+    distance_factor: int = 15
+    #: fraction of the private cache the prefetcher may fill before prefetched
+    #: lines start evicting each other (prefetch "budget")
+    cache_budget_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.enabled and self.distance_factor <= 0:
+            raise SimulationError("prefetch distance factor must be positive when enabled")
+        if not 0.0 < self.cache_budget_fraction <= 1.0:
+            raise SimulationError("cache_budget_fraction must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class ChunkCost:
+    """Cost of executing one chunk of iterations on one worker at full speed.
+
+    ``compute_seconds`` scales with the worker's SMT speed factor when
+    scheduled; ``memory_seconds`` scales with memory contention;
+    ``overhead_seconds`` is fixed.
+    """
+
+    compute_seconds: float
+    memory_seconds: float
+    overhead_seconds: float
+    bytes_moved: float
+    elements: int
+    prefetches_issued: float = 0.0
+    hidden_fraction: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """Uncontended, full-speed duration of the chunk."""
+        return self.compute_seconds + self.memory_seconds + self.overhead_seconds
+
+    def scaled_duration(self, *, speed_factor: float = 1.0, contention: float = 1.0) -> float:
+        """Duration with SMT speed scaling and memory-bandwidth contention."""
+        if speed_factor <= 0:
+            raise SimulationError("speed_factor must be positive")
+        if contention < 1.0:
+            raise SimulationError("contention factor cannot be below 1.0")
+        return (
+            self.compute_seconds / speed_factor
+            + self.memory_seconds * contention
+            + self.overhead_seconds
+        )
+
+
+class KernelCostModel:
+    """Computes :class:`ChunkCost` values for kernel chunks on a machine."""
+
+    def __init__(self, machine: Machine, *, memory: Optional[MemoryModel] = None) -> None:
+        self.machine = machine
+        self.memory = memory if memory is not None else MemoryModel(machine.config)
+
+    # -- prefetch behaviour ----------------------------------------------------
+    def prefetch_hidden_fraction(self, profile: KernelProfile, prefetch: PrefetchSpec) -> float:
+        """Fraction of DRAM latency hidden by prefetching ``distance`` ahead.
+
+        The prefetch for iteration ``i + d`` is issued at iteration ``i``, so
+        the lead time is ``d`` iteration-times.  Hiding saturates once the
+        lead time covers the full DRAM latency; prefetching much further ahead
+        than the cache budget allows evicts lines before they are used, which
+        progressively cancels the benefit (the collapse at large distances in
+        Figure 20).
+        """
+        if not prefetch.enabled:
+            return 0.0
+        config = self.machine.config
+        # Cycles spent per iteration while data is in cache (compute + L1 hits).
+        hit_cycles = (
+            profile.bytes_per_element / config.cache_line_bytes
+        ) * config.l1_hit_latency_cycles
+        iteration_cycles = max(profile.cycles_per_element + hit_cycles, 1e-9)
+        lead_cycles = prefetch.distance_factor * iteration_cycles
+        hidden = min(1.0, lead_cycles / config.dram_latency_cycles)
+
+        # Eviction of prefetched-but-not-yet-used lines once the in-flight
+        # footprint exceeds the prefetch budget of the private cache.
+        footprint_bytes = prefetch.distance_factor * profile.bytes_per_element
+        budget_bytes = prefetch.cache_budget_fraction * config.l1_kib * 1024
+        if footprint_bytes > budget_bytes:
+            survival = budget_bytes / footprint_bytes
+        else:
+            survival = 1.0
+        # Mild pollution term: very aggressive distances displace useful data.
+        pollution = 1.0 / (1.0 + 0.004 * max(prefetch.distance_factor - 1, 0))
+        return hidden * survival * pollution
+
+    def _prefetch_waste(self, profile: KernelProfile, prefetch: PrefetchSpec, elements: int) -> float:
+        """Useless prefetches per chunk (overshoot past the end of the range)."""
+        if not prefetch.enabled or elements <= 0:
+            return 0.0
+        lines_per_container = max(
+            1.0,
+            prefetch.distance_factor
+            * profile.bytes_per_element
+            / max(profile.num_containers, 1)
+            / self.machine.config.cache_line_bytes,
+        )
+        return lines_per_container * profile.num_containers
+
+    # -- main entry point --------------------------------------------------------
+    def chunk_cost(
+        self,
+        profile: KernelProfile,
+        elements: int,
+        *,
+        prefetch: Optional[PrefetchSpec] = None,
+        chunk_index: int = 0,
+        position: Optional[float | tuple[float, float]] = None,
+        spawn_overhead: bool = False,
+    ) -> ChunkCost:
+        """Cost of a chunk of ``elements`` iterations of ``profile``.
+
+        Parameters
+        ----------
+        prefetch:
+            Prefetcher configuration; ``None`` disables prefetching.
+        chunk_index:
+            Used to derive a deterministic load-imbalance jitter so that
+            repeated simulations are reproducible.
+        position:
+            The chunk's relative span in the iteration range, as a
+            ``(lo, hi)`` pair of fractions in ``[0, 1]`` (a single float is
+            treated as a zero-width span).  When given, load imbalance is
+            *spatially correlated* -- elements near the middle of the range
+            (the pinched channel region of the Airfoil mesh) carry more
+            work -- which is what makes static OpenMP scheduling suffer while
+            dynamic/dataflow scheduling absorbs it.  The factor is the bump's
+            *average over the span*, so total work is independent of how
+            finely the range is chunked.  When omitted only the hash-based
+            jitter applies.
+        spawn_overhead:
+            Charge the asynchronous task-creation overhead to this chunk
+            (HPX-style execution); barrier-style execution charges fork/join
+            costs at the phase level instead.
+        """
+        if elements < 0:
+            raise SimulationError(f"chunk element count must be non-negative, got {elements}")
+        prefetch = prefetch if prefetch is not None else PrefetchSpec(enabled=False)
+        config = self.machine.config
+
+        jitter = self._imbalance_factor(profile, chunk_index, position)
+        compute_cycles = profile.cycles_per_element * elements * jitter
+        compute_seconds = self.machine.cycles_to_seconds(compute_cycles)
+
+        bytes_read = profile.bytes_read_per_element * elements
+        bytes_written = profile.bytes_written_per_element * elements
+        # Streaming estimate: one demand miss per cache line touched (possibly
+        # several lines per iteration for wide kernels such as res_calc).
+        misses_per_iteration = profile.bytes_per_element / config.cache_line_bytes
+        demand_misses = misses_per_iteration * elements
+        request = MemoryRequest(
+            bytes_read=bytes_read,
+            bytes_written=bytes_written,
+            demand_misses=demand_misses,
+            reuse_fraction=profile.reuse_fraction,
+        )
+
+        hidden = self.prefetch_hidden_fraction(profile, prefetch)
+        if prefetch.enabled:
+            waste = self._prefetch_waste(profile, prefetch, elements)
+            stall_cycles = self.memory.prefetched_stall_cycles(
+                request, hidden_fraction=hidden, extra_prefetches=waste
+            )
+            prefetches = demand_misses * (1.0 - profile.reuse_fraction) + waste
+        else:
+            waste = 0.0
+            stall_cycles = self.memory.demand_stall_cycles(request)
+            prefetches = 0.0
+        memory_seconds = self.machine.cycles_to_seconds(stall_cycles)
+        self.memory.record(request, stall_cycles, prefetches)
+
+        overhead_seconds = self.machine.task_spawn_overhead_s() if spawn_overhead else 0.0
+
+        return ChunkCost(
+            compute_seconds=compute_seconds,
+            memory_seconds=memory_seconds,
+            overhead_seconds=overhead_seconds,
+            bytes_moved=request.total_bytes,
+            elements=elements,
+            prefetches_issued=prefetches,
+            hidden_fraction=hidden,
+        )
+
+    def elements_for_duration(
+        self,
+        profile: KernelProfile,
+        target_seconds: float,
+        *,
+        prefetch: Optional[PrefetchSpec] = None,
+    ) -> int:
+        """Invert the cost model: chunk size whose duration ≈ ``target_seconds``.
+
+        This is the primitive behind ``persistent_auto_chunk_size``: the chunk
+        size of the first loop fixes a target duration, and dependent loops
+        pick their (different) chunk sizes to match it.
+        """
+        if target_seconds <= 0:
+            raise SimulationError("target duration must be positive")
+        probe = 1024
+        cost = self.chunk_cost(profile, probe, prefetch=prefetch, chunk_index=0)
+        per_element = cost.total_seconds / probe
+        if per_element <= 0:
+            raise SimulationError("degenerate per-element cost")
+        return max(1, int(round(target_seconds / per_element)))
+
+    # -- internals ---------------------------------------------------------------
+    #: centre and width of the spatial work bump (the pinched channel region)
+    _BUMP_CENTRE = 0.55
+    _BUMP_SIGMA = 0.16
+
+    @classmethod
+    def _mean_bump(cls, lo: float, hi: float) -> float:
+        """Average of the Gaussian work bump over the span ``[lo, hi]``."""
+        mu, sigma = cls._BUMP_CENTRE, cls._BUMP_SIGMA
+        lo = min(max(lo, 0.0), 1.0)
+        hi = min(max(hi, 0.0), 1.0)
+        if hi - lo < 1e-9:
+            x = 0.5 * (lo + hi)
+            return math.exp(-((x - mu) ** 2) / (2.0 * sigma**2))
+        scale = sigma * math.sqrt(math.pi / 2.0)
+        a = (lo - mu) / (sigma * math.sqrt(2.0))
+        b = (hi - mu) / (sigma * math.sqrt(2.0))
+        return scale * (math.erf(b) - math.erf(a)) / (hi - lo)
+
+    @classmethod
+    def _imbalance_factor(
+        cls,
+        profile: KernelProfile,
+        chunk_index: int,
+        position: Optional[float | tuple[float, float]] = None,
+    ) -> float:
+        """Deterministic per-chunk work multiplier.
+
+        Two components:
+
+        * a *spatial* component (only when ``position`` is given): a smooth
+          bump centred slightly past the middle of the iteration range,
+          mimicking the refined/pinched region of the Airfoil channel where
+          per-element work is higher.  The bump is averaged over the chunk's
+          span so the total work of a loop does not depend on chunking.
+        * a small *hash* jitter derived from the chunk index (splitmix-style,
+          independent of Python's hash randomisation) so chunks are never
+          perfectly identical.
+        """
+        if profile.imbalance <= 0.0:
+            return 1.0
+        factor = 1.0
+        if position is not None:
+            if isinstance(position, tuple):
+                lo, hi = position
+            else:
+                lo = hi = float(position)
+            bump = cls._mean_bump(lo, hi)
+            factor += profile.imbalance * (2.0 * bump - 0.7)
+        x = (chunk_index + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+        x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+        x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+        x ^= x >> 31
+        unit = (x & 0xFFFFFF) / float(0xFFFFFF)  # uniform in [0, 1]
+        factor += 0.3 * profile.imbalance * (2.0 * unit - 1.0)
+        return max(factor, 0.05)

@@ -1,0 +1,239 @@
+"""The simulated shared-memory machine.
+
+:class:`MachineConfig` is the validated, runtime counterpart of
+:class:`repro.config.MachinePreset`; :class:`Machine` adds behaviour --
+cycle/second conversion, SMT placement of logical workers onto physical
+cores, per-core cache construction and the memory-contention model shared by
+all scheduling experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.config import MachinePreset, get_preset
+from repro.errors import MachineConfigError
+from repro.sim.cache import CacheConfig, CacheModel
+
+__all__ = ["MachineConfig", "Machine", "WorkerSlot"]
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Validated machine description used by the simulator.
+
+    The fields mirror :class:`repro.config.MachinePreset`; see that class for
+    documentation of each parameter.  Construction validates the invariants
+    that the simulator relies on.
+    """
+
+    num_cores: int = 16
+    smt_per_core: int = 2
+    clock_ghz: float = 2.4
+    cache_line_bytes: int = 64
+    l1_kib: int = 32
+    l1_associativity: int = 8
+    l1_hit_latency_cycles: int = 4
+    dram_latency_cycles: int = 200
+    dram_bandwidth_gbs: float = 42.6
+    smt_efficiency: float = 0.28
+    #: fixed cost of entering/leaving an OpenMP parallel region (fork/join)
+    fork_join_overhead_us: float = 4.0
+    #: per-thread cost of a barrier (it grows with the number of threads)
+    barrier_overhead_us_per_thread: float = 0.25
+    #: cost of creating + scheduling one HPX task (future/dataflow node)
+    task_spawn_overhead_us: float = 0.7
+    #: cost of one future.get()/dataflow dependency resolution
+    dependency_overhead_us: float = 0.08
+
+    def __post_init__(self) -> None:
+        if self.num_cores <= 0:
+            raise MachineConfigError(f"num_cores must be positive, got {self.num_cores}")
+        if self.smt_per_core <= 0:
+            raise MachineConfigError(f"smt_per_core must be positive, got {self.smt_per_core}")
+        if self.clock_ghz <= 0:
+            raise MachineConfigError(f"clock_ghz must be positive, got {self.clock_ghz}")
+        if self.cache_line_bytes <= 0:
+            raise MachineConfigError("cache_line_bytes must be positive")
+        if self.dram_bandwidth_gbs <= 0:
+            raise MachineConfigError("dram_bandwidth_gbs must be positive")
+        if not 0.0 < self.smt_efficiency <= 1.0:
+            raise MachineConfigError(
+                f"smt_efficiency must be in (0, 1], got {self.smt_efficiency}"
+            )
+
+    @property
+    def max_threads(self) -> int:
+        """Maximum number of schedulable hardware threads."""
+        return self.num_cores * self.smt_per_core
+
+    @classmethod
+    def from_preset(cls, preset: MachinePreset | str) -> "MachineConfig":
+        """Build a config from a :class:`MachinePreset` or preset name."""
+        if isinstance(preset, str):
+            preset = get_preset(preset)
+        return cls(
+            num_cores=preset.num_cores,
+            smt_per_core=preset.smt_per_core,
+            clock_ghz=preset.clock_ghz,
+            cache_line_bytes=preset.cache_line_bytes,
+            l1_kib=preset.l1_kib,
+            l1_hit_latency_cycles=preset.l1_latency_cycles,
+            dram_latency_cycles=preset.dram_latency_cycles,
+            dram_bandwidth_gbs=preset.dram_bandwidth_gbs,
+            smt_efficiency=preset.smt_efficiency,
+        )
+
+
+@dataclass(frozen=True)
+class WorkerSlot:
+    """Placement of one logical worker (hardware thread) onto a core.
+
+    Attributes
+    ----------
+    worker_id:
+        Index of the logical worker, ``0 <= worker_id < num_threads``.
+    core_id:
+        Physical core the worker runs on.
+    smt_index:
+        0 for the first hardware thread on the core, 1 for the hyper-thread.
+    speed_factor:
+        Fraction of a full core's throughput this worker gets.  1.0 when the
+        core is not shared; ``(1 + smt_efficiency) / 2`` for each of two
+        co-resident workers.
+    """
+
+    worker_id: int
+    core_id: int
+    smt_index: int
+    speed_factor: float
+
+
+class Machine:
+    """A simulated machine instance.
+
+    The machine converts cycle counts into simulated seconds, decides how
+    logical workers are placed on cores for a given thread count (workers are
+    spread across cores first, hyper-threads are only used once every core has
+    one worker -- the usual ``OMP_PLACES=cores`` behaviour and what the
+    paper's "hyper-threading is enabled after 16 threads" implies), and
+    exposes the memory-contention factor applied to memory-bound portions of
+    chunk costs.
+    """
+
+    def __init__(self, config: Optional[MachineConfig | MachinePreset | str] = None) -> None:
+        if config is None:
+            config = MachineConfig()
+        elif isinstance(config, (MachinePreset, str)):
+            config = MachineConfig.from_preset(config)
+        elif not isinstance(config, MachineConfig):
+            raise MachineConfigError(f"unsupported machine config: {config!r}")
+        self.config = config
+
+    # -- unit conversion -----------------------------------------------------
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert core cycles to simulated seconds."""
+        return cycles / (self.config.clock_ghz * 1e9)
+
+    def seconds_to_cycles(self, seconds: float) -> float:
+        """Convert simulated seconds to core cycles."""
+        return seconds * self.config.clock_ghz * 1e9
+
+    def us(self, microseconds: float) -> float:
+        """Convert microseconds to seconds (readability helper)."""
+        return microseconds * 1e-6
+
+    # -- worker placement ----------------------------------------------------
+    def worker_slots(self, num_threads: int) -> list[WorkerSlot]:
+        """Place ``num_threads`` logical workers onto cores.
+
+        Workers 0..num_cores-1 each get their own core at full speed; workers
+        beyond that share cores as hyper-threads, and *both* workers on a
+        shared core drop to ``(1 + smt_efficiency) / 2`` throughput.
+        """
+        if num_threads <= 0:
+            raise MachineConfigError(f"num_threads must be positive, got {num_threads}")
+        if num_threads > self.config.max_threads:
+            raise MachineConfigError(
+                f"num_threads={num_threads} exceeds machine capacity "
+                f"{self.config.max_threads}"
+            )
+        shared_speed = (1.0 + self.config.smt_efficiency) / 2.0
+        # Count how many workers land on each core.
+        workers_per_core = [0] * self.config.num_cores
+        placements: list[tuple[int, int]] = []  # (core_id, smt_index) per worker
+        for worker_id in range(num_threads):
+            core_id = worker_id % self.config.num_cores
+            smt_index = worker_id // self.config.num_cores
+            workers_per_core[core_id] += 1
+            placements.append((core_id, smt_index))
+        slots = []
+        for worker_id, (core_id, smt_index) in enumerate(placements):
+            speed = 1.0 if workers_per_core[core_id] == 1 else shared_speed
+            slots.append(
+                WorkerSlot(
+                    worker_id=worker_id,
+                    core_id=core_id,
+                    smt_index=smt_index,
+                    speed_factor=speed,
+                )
+            )
+        return slots
+
+    # -- caches ---------------------------------------------------------------
+    def l1_cache_config(self) -> CacheConfig:
+        """Cache geometry of the private per-core cache."""
+        return CacheConfig(
+            capacity_bytes=self.config.l1_kib * 1024,
+            line_bytes=self.config.cache_line_bytes,
+            associativity=self.config.l1_associativity,
+            hit_latency_cycles=self.config.l1_hit_latency_cycles,
+            miss_latency_cycles=self.config.dram_latency_cycles,
+        )
+
+    def make_core_cache(self) -> CacheModel:
+        """Construct a fresh private cache model for one core."""
+        return CacheModel(self.l1_cache_config())
+
+    # -- memory contention -----------------------------------------------------
+    def memory_contention_factor(self, active_threads: int, bytes_per_second_per_thread: float) -> float:
+        """Multiplier applied to memory-stall time under bandwidth contention.
+
+        When the aggregate streaming demand of the active threads exceeds the
+        machine's DRAM bandwidth, memory-bound time stretches proportionally.
+        Below saturation the factor is 1.0.
+        """
+        if active_threads <= 0:
+            return 1.0
+        demand_gbs = active_threads * bytes_per_second_per_thread / 1e9
+        if demand_gbs <= self.config.dram_bandwidth_gbs:
+            return 1.0
+        return demand_gbs / self.config.dram_bandwidth_gbs
+
+    # -- fixed overheads -------------------------------------------------------
+    def fork_join_overhead_s(self, num_threads: int) -> float:
+        """Cost of opening+closing one OpenMP parallel region with a barrier."""
+        return self.us(
+            self.config.fork_join_overhead_us
+            + self.config.barrier_overhead_us_per_thread * num_threads
+        )
+
+    def barrier_overhead_s(self, num_threads: int) -> float:
+        """Cost of one standalone global barrier across ``num_threads``."""
+        return self.us(self.config.barrier_overhead_us_per_thread * num_threads)
+
+    def task_spawn_overhead_s(self) -> float:
+        """Cost of creating and scheduling one asynchronous task."""
+        return self.us(self.config.task_spawn_overhead_us)
+
+    def dependency_overhead_s(self) -> float:
+        """Cost of resolving one future/dataflow dependency."""
+        return self.us(self.config.dependency_overhead_us)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        c = self.config
+        return (
+            f"Machine(cores={c.num_cores}, smt={c.smt_per_core}, "
+            f"clock={c.clock_ghz}GHz, bw={c.dram_bandwidth_gbs}GB/s)"
+        )

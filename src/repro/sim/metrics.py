@@ -1,0 +1,116 @@
+"""Derived metrics used by the benchmark harness.
+
+The paper's figures report execution time (Fig. 15), strong-scaling speedup
+(Figs. 16-18) and data-transfer rate (Figs. 19-20).  This module contains the
+small, well-tested conversions from :class:`~repro.sim.scheduler_sim.ScheduleResult`
+values into those series so every benchmark computes them identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.errors import BenchmarkError
+from repro.sim.scheduler_sim import ScheduleResult
+
+__all__ = [
+    "speedup_series",
+    "parallel_efficiency",
+    "achieved_bandwidth_gbs",
+    "ScalingSeries",
+    "BandwidthSeries",
+]
+
+
+def speedup_series(times: Mapping[int, float], *, baseline_threads: int = 1) -> dict[int, float]:
+    """Strong-scaling speedup relative to the ``baseline_threads`` entry.
+
+    ``times`` maps thread count to runtime seconds; the result maps thread
+    count to ``times[baseline] / times[t]``.
+    """
+    if baseline_threads not in times:
+        raise BenchmarkError(
+            f"baseline thread count {baseline_threads} missing from series {sorted(times)}"
+        )
+    baseline = times[baseline_threads]
+    if baseline <= 0:
+        raise BenchmarkError("baseline runtime must be positive")
+    result = {}
+    for threads, runtime in times.items():
+        if runtime <= 0:
+            raise BenchmarkError(f"runtime for {threads} threads must be positive")
+        result[threads] = baseline / runtime
+    return result
+
+
+def parallel_efficiency(times: Mapping[int, float], *, baseline_threads: int = 1) -> dict[int, float]:
+    """Speedup divided by thread count (perfect scaling == 1.0)."""
+    speedups = speedup_series(times, baseline_threads=baseline_threads)
+    return {threads: s / threads for threads, s in speedups.items()}
+
+
+def achieved_bandwidth_gbs(result: ScheduleResult) -> float:
+    """Achieved data-transfer rate of a schedule result, in GB/s."""
+    return result.achieved_bandwidth_gbs
+
+
+@dataclass
+class ScalingSeries:
+    """Execution time and speedup of one configuration over a thread sweep."""
+
+    label: str
+    times: dict[int, float] = field(default_factory=dict)
+
+    def record(self, threads: int, seconds: float) -> None:
+        """Record one data point."""
+        if threads <= 0:
+            raise BenchmarkError("thread count must be positive")
+        if seconds <= 0:
+            raise BenchmarkError("runtime must be positive")
+        self.times[threads] = seconds
+
+    @property
+    def thread_counts(self) -> list[int]:
+        """Sorted thread counts recorded so far."""
+        return sorted(self.times)
+
+    def speedups(self, baseline_threads: int = 1) -> dict[int, float]:
+        """Speedup relative to ``baseline_threads``."""
+        return speedup_series(self.times, baseline_threads=baseline_threads)
+
+    def improvement_over(self, other: "ScalingSeries", threads: int) -> float:
+        """Relative improvement of this series over ``other`` at ``threads``.
+
+        Defined as ``(other_time - self_time) / other_time``, i.e. 0.40 means
+        "40 % faster than the other configuration".
+        """
+        if threads not in self.times or threads not in other.times:
+            raise BenchmarkError(f"both series need a sample at {threads} threads")
+        return (other.times[threads] - self.times[threads]) / other.times[threads]
+
+
+@dataclass
+class BandwidthSeries:
+    """Achieved bandwidth (GB/s) over a thread or parameter sweep."""
+
+    label: str
+    values: dict[int, float] = field(default_factory=dict)
+
+    def record(self, key: int, gbs: float) -> None:
+        """Record one data point (key is a thread count or a distance factor)."""
+        if gbs < 0:
+            raise BenchmarkError("bandwidth must be non-negative")
+        self.values[key] = gbs
+
+    @property
+    def keys(self) -> list[int]:
+        """Sorted sweep keys."""
+        return sorted(self.values)
+
+    def best(self) -> tuple[int, float]:
+        """The key with the highest bandwidth and its value."""
+        if not self.values:
+            raise BenchmarkError("empty bandwidth series")
+        best_key = max(self.values, key=lambda k: self.values[k])
+        return best_key, self.values[best_key]

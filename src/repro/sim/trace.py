@@ -1,0 +1,167 @@
+"""Execution traces produced by the schedule simulator.
+
+A trace is a flat list of :class:`TaskRecord` entries; :class:`ExecutionTrace`
+adds the aggregate queries the benchmark harness and the tests need: makespan,
+per-worker busy/idle time, per-phase spans and simple overlap statistics that
+demonstrate loop interleaving.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from repro.errors import SimulationError
+
+__all__ = ["TaskRecord", "ExecutionTrace"]
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """One executed task (chunk) in the simulated schedule."""
+
+    task_id: int
+    name: str
+    loop_name: str
+    phase: int
+    chunk_index: int
+    worker_id: int
+    core_id: int
+    start: float
+    end: float
+    bytes_moved: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        """Execution time of the task in simulated seconds."""
+        return self.end - self.start
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise SimulationError(
+                f"task {self.task_id} ends before it starts ({self.end} < {self.start})"
+            )
+
+
+class ExecutionTrace:
+    """Container of task records with aggregate accounting."""
+
+    def __init__(self, num_workers: int) -> None:
+        if num_workers <= 0:
+            raise SimulationError("trace needs at least one worker")
+        self.num_workers = num_workers
+        self.records: list[TaskRecord] = []
+        self.barrier_seconds: float = 0.0
+        self.fork_join_seconds: float = 0.0
+
+    # -- construction ----------------------------------------------------------
+    def add(self, record: TaskRecord) -> None:
+        """Append a task record (workers must be within range)."""
+        if not 0 <= record.worker_id < self.num_workers:
+            raise SimulationError(
+                f"worker id {record.worker_id} outside [0, {self.num_workers})"
+            )
+        self.records.append(record)
+
+    def add_barrier_time(self, seconds: float) -> None:
+        """Account time spent in global barriers."""
+        if seconds < 0:
+            raise SimulationError("barrier time must be non-negative")
+        self.barrier_seconds += seconds
+
+    def add_fork_join_time(self, seconds: float) -> None:
+        """Account time spent forking/joining parallel regions."""
+        if seconds < 0:
+            raise SimulationError("fork/join time must be non-negative")
+        self.fork_join_seconds += seconds
+
+    # -- aggregate queries -------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TaskRecord]:
+        return iter(self.records)
+
+    @property
+    def makespan(self) -> float:
+        """End time of the last task (0.0 for an empty trace)."""
+        return max((r.end for r in self.records), default=0.0)
+
+    @property
+    def total_bytes(self) -> float:
+        """Total bytes moved by all recorded tasks."""
+        return sum(r.bytes_moved for r in self.records)
+
+    def busy_seconds(self, worker_id: Optional[int] = None) -> float:
+        """Total busy time, for one worker or summed over all workers."""
+        if worker_id is None:
+            return sum(r.duration for r in self.records)
+        return sum(r.duration for r in self.records if r.worker_id == worker_id)
+
+    def idle_seconds(self, worker_id: Optional[int] = None) -> float:
+        """Idle time inside the makespan, per worker or summed."""
+        span = self.makespan
+        if worker_id is not None:
+            return max(0.0, span - self.busy_seconds(worker_id))
+        return max(0.0, span * self.num_workers - self.busy_seconds())
+
+    def utilisation(self) -> float:
+        """Fraction of worker-time spent busy, in ``[0, 1]``."""
+        span = self.makespan
+        if span <= 0.0:
+            return 0.0
+        return self.busy_seconds() / (span * self.num_workers)
+
+    # -- phase / loop queries ------------------------------------------------------
+    def phases(self) -> list[int]:
+        """Sorted list of phase indices present in the trace."""
+        return sorted({r.phase for r in self.records})
+
+    def phase_span(self, phase: int) -> tuple[float, float]:
+        """``(start, end)`` of all tasks belonging to ``phase``."""
+        tasks = [r for r in self.records if r.phase == phase]
+        if not tasks:
+            raise SimulationError(f"phase {phase} has no tasks")
+        return min(r.start for r in tasks), max(r.end for r in tasks)
+
+    def loop_names(self) -> list[str]:
+        """Distinct loop names in first-appearance order."""
+        seen: dict[str, None] = {}
+        for record in self.records:
+            seen.setdefault(record.loop_name, None)
+        return list(seen)
+
+    def records_for_loop(self, loop_name: str) -> list[TaskRecord]:
+        """All task records produced by a named loop."""
+        return [r for r in self.records if r.loop_name == loop_name]
+
+    def phase_overlap_seconds(self, phase_a: int, phase_b: int) -> float:
+        """Temporal overlap between two phases' spans.
+
+        A positive overlap between consecutive loops is the signature of
+        interleaving: under a global-barrier schedule it is always zero.
+        """
+        a_start, a_end = self.phase_span(phase_a)
+        b_start, b_end = self.phase_span(phase_b)
+        return max(0.0, min(a_end, b_end) - max(a_start, b_start))
+
+    def per_worker_timeline(self) -> dict[int, list[TaskRecord]]:
+        """Task records grouped by worker, each sorted by start time."""
+        timeline: dict[int, list[TaskRecord]] = defaultdict(list)
+        for record in self.records:
+            timeline[record.worker_id].append(record)
+        for worker_records in timeline.values():
+            worker_records.sort(key=lambda r: r.start)
+        return dict(timeline)
+
+    def validate_no_worker_overlap(self) -> None:
+        """Raise :class:`SimulationError` if any worker runs two tasks at once."""
+        for worker_id, worker_records in self.per_worker_timeline().items():
+            previous_end = 0.0
+            for record in worker_records:
+                if record.start < previous_end - 1e-12:
+                    raise SimulationError(
+                        f"worker {worker_id} overlaps tasks at t={record.start}"
+                    )
+                previous_end = record.end

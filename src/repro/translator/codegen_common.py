@@ -1,0 +1,69 @@
+"""Shared helpers for the code generators.
+
+Generated wrapper functions receive the application's objects through two
+dictionaries -- ``dats`` (op_dats and global arrays, keyed by the variable
+names used in the original source) and ``maps`` (op_maps) -- so the generated
+module has no free variables and can be imported and executed as-is.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import TranslatorCodegenError
+from repro.translator.ir import ArgDescriptor, LoopSite, ProgramIR
+
+__all__ = ["emit_header", "emit_arg", "wrapper_name", "validate_identifier"]
+
+
+def validate_identifier(name: str) -> str:
+    """Ensure a parsed token is usable as a Python identifier."""
+    candidate = name.strip()
+    if not candidate.isidentifier():
+        raise TranslatorCodegenError(f"{candidate!r} is not a valid identifier")
+    return candidate
+
+
+def wrapper_name(loop: LoopSite) -> str:
+    """Name of the generated wrapper function for a loop site."""
+    return f"op_par_loop_{validate_identifier(loop.name)}"
+
+
+def emit_header(program: ProgramIR, flavour: str) -> list[str]:
+    """Common module docstring + imports of a generated wrapper module."""
+    lines = [
+        '"""Auto-generated OP2 wrapper module -- DO NOT EDIT.',
+        "",
+        f"Source: {program.source_name}",
+        f"Flavour: {flavour}",
+        f"Loops: {', '.join(site.name for site in program.loops)}",
+        '"""',
+        "",
+        "from repro.op2.access import OP_ID, OP_READ, OP_WRITE, OP_RW, OP_INC, OP_MIN, OP_MAX",
+        "from repro.op2.args import op_arg_dat, op_arg_gbl",
+        "from repro.op2.par_loop import op_par_loop",
+        "",
+    ]
+    return lines
+
+
+def emit_arg(arg: ArgDescriptor) -> str:
+    """Emit the ``op_arg_dat`` / ``op_arg_gbl`` expression for one argument.
+
+    Data objects are looked up in the ``dats`` dictionary and maps in the
+    ``maps`` dictionary of the enclosing wrapper function.
+    """
+    name = validate_identifier(arg.dat)
+    if arg.is_global:
+        return (
+            f"op_arg_gbl(dats[{name!r}], {arg.dim}, "
+            f"\"{arg.type_name}\", {arg.access})"
+        )
+    if arg.map_name == "OP_ID":
+        map_expr = "OP_ID"
+    else:
+        map_expr = f"maps[{validate_identifier(arg.map_name)!r}]"
+    return (
+        f"op_arg_dat(dats[{name!r}], {arg.index}, {map_expr}, "
+        f"{arg.dim}, \"{arg.type_name}\", {arg.access})"
+    )

@@ -1,0 +1,116 @@
+"""Intermediate representation of ``op_par_loop`` call sites."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.errors import TranslatorError
+
+__all__ = ["ArgDescriptor", "LoopSite", "ProgramIR", "ACCESS_NAMES"]
+
+#: access spellings accepted in application sources
+ACCESS_NAMES = {"OP_READ", "OP_WRITE", "OP_RW", "OP_INC", "OP_MIN", "OP_MAX"}
+
+
+@dataclass(frozen=True)
+class ArgDescriptor:
+    """One ``op_arg_dat`` / ``op_arg_gbl`` occurrence inside a loop call."""
+
+    dat: str
+    index: int
+    map_name: str  # "OP_ID" for direct arguments
+    dim: int
+    type_name: str
+    access: str
+    is_global: bool = False
+
+    def __post_init__(self) -> None:
+        if self.access not in ACCESS_NAMES:
+            raise TranslatorError(f"unknown access mode {self.access!r}")
+        if self.dim <= 0:
+            raise TranslatorError(f"argument {self.dat!r} has non-positive dim {self.dim}")
+
+    @property
+    def is_direct(self) -> bool:
+        """True for non-global arguments accessed through ``OP_ID``."""
+        return not self.is_global and self.map_name == "OP_ID"
+
+    @property
+    def is_indirect(self) -> bool:
+        """True for arguments accessed through a real map."""
+        return not self.is_global and self.map_name != "OP_ID"
+
+    @property
+    def reads(self) -> bool:
+        """True if the kernel observes the argument's previous value."""
+        return self.access in {"OP_READ", "OP_RW", "OP_INC", "OP_MIN", "OP_MAX"}
+
+    @property
+    def writes(self) -> bool:
+        """True if the kernel modifies the argument."""
+        return self.access in {"OP_WRITE", "OP_RW", "OP_INC", "OP_MIN", "OP_MAX"}
+
+
+@dataclass
+class LoopSite:
+    """One ``op_par_loop`` call site."""
+
+    kernel: str
+    name: str
+    iteration_set: str
+    args: list[ArgDescriptor]
+    source_line: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.args:
+            raise TranslatorError(f"loop {self.name!r} has no arguments")
+
+    @property
+    def is_direct(self) -> bool:
+        """True when no argument is accessed through a map."""
+        return all(not arg.is_indirect for arg in self.args)
+
+    @property
+    def has_indirect_increment(self) -> bool:
+        """True when some argument increments data through a map."""
+        return any(arg.is_indirect and arg.access == "OP_INC" for arg in self.args)
+
+    def dats_read(self) -> list[str]:
+        """Names of dats whose previous value the loop observes."""
+        return [a.dat for a in self.args if not a.is_global and a.reads]
+
+    def dats_written(self) -> list[str]:
+        """Names of dats the loop modifies."""
+        return [a.dat for a in self.args if not a.is_global and a.writes]
+
+
+@dataclass
+class ProgramIR:
+    """All loop sites of one application source, in program order."""
+
+    source_name: str
+    loops: list[LoopSite] = field(default_factory=list)
+    sets: list[str] = field(default_factory=list)
+    maps: list[str] = field(default_factory=list)
+    dats: list[str] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[LoopSite]:
+        return iter(self.loops)
+
+    def __len__(self) -> int:
+        return len(self.loops)
+
+    def loop(self, name: str) -> LoopSite:
+        """Look a loop site up by name (first match)."""
+        for site in self.loops:
+            if site.name == name:
+                return site
+        raise TranslatorError(f"no loop named {name!r} in {self.source_name!r}")
+
+    def kernels(self) -> list[str]:
+        """Distinct kernel names in first-appearance order."""
+        seen: dict[str, None] = {}
+        for site in self.loops:
+            seen.setdefault(site.kernel, None)
+        return list(seen)

@@ -1,0 +1,179 @@
+"""Parsing of ``op_par_loop`` call sites from application sources.
+
+The OP2 translator scans C/C++ sources for ``op_decl_set``, ``op_decl_map``,
+``op_decl_dat`` and ``op_par_loop`` calls; it does not need a full C parser
+because the OP2 API restricts these calls to a simple, flat argument syntax.
+This module follows the same approach: a tolerant, parenthesis-balanced
+scanner that works on both C-style sources (``op_par_loop(save_soln, "save_
+soln", cells, op_arg_dat(p_q, -1, OP_ID, 4, "double", OP_READ), ...)``) and
+on Python sources using this library's API.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, Optional
+
+from repro.errors import TranslatorParseError
+from repro.translator.ir import ACCESS_NAMES, ArgDescriptor, LoopSite, ProgramIR
+
+__all__ = ["parse_source", "strip_comments", "split_top_level", "extract_calls"]
+
+_CALL_NAMES = ("op_par_loop", "op_decl_set", "op_decl_map", "op_decl_dat")
+
+
+def strip_comments(source: str) -> str:
+    """Remove C, C++ and Python comments (string contents are preserved)."""
+    source = re.sub(r"/\*.*?\*/", " ", source, flags=re.S)
+    source = re.sub(r"//[^\n]*", " ", source)
+    source = re.sub(r"(?m)^\s*#(?!include|pragma|define)[^\n]*", " ", source)
+    return source
+
+
+def split_top_level(argument_text: str) -> list[str]:
+    """Split an argument list on commas not nested in parentheses or strings."""
+    parts: list[str] = []
+    depth = 0
+    quote: str | None = None
+    current: list[str] = []
+    for char in argument_text:
+        if quote is not None:
+            if char == quote:
+                quote = None
+            current.append(char)
+            continue
+        if char in "\"'":
+            quote = char
+            current.append(char)
+            continue
+        if char in "([{":
+            depth += 1
+        elif char in ")]}":
+            depth -= 1
+            if depth < 0:
+                raise TranslatorParseError(f"unbalanced parentheses in {argument_text!r}")
+        if char == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    if depth != 0 or quote is not None:
+        raise TranslatorParseError(f"unbalanced parentheses or quotes in {argument_text!r}")
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def extract_calls(source: str, name: str) -> Iterator[tuple[int, str]]:
+    """Yield ``(line_number, argument_text)`` for every ``name(...)`` call."""
+    for match in re.finditer(rf"\b{re.escape(name)}\s*\(", source):
+        start = match.end()
+        depth = 1
+        position = start
+        while position < len(source) and depth:
+            char = source[position]
+            if char == "(":
+                depth += 1
+            elif char == ")":
+                depth -= 1
+            position += 1
+        if depth:
+            raise TranslatorParseError(f"unterminated {name}( starting at offset {match.start()}")
+        line = source.count("\n", 0, match.start()) + 1
+        yield line, source[start : position - 1]
+
+
+def _unquote(token: str) -> str:
+    token = token.strip()
+    if len(token) >= 2 and token[0] in "\"'" and token[-1] == token[0]:
+        return token[1:-1]
+    return token
+
+
+def _parse_int(token: str, context: str) -> int:
+    token = token.strip()
+    try:
+        return int(token)
+    except ValueError as exc:
+        raise TranslatorParseError(f"expected an integer in {context}, got {token!r}") from exc
+
+
+def _parse_arg(text: str) -> ArgDescriptor:
+    text = text.strip()
+    if text.startswith("op_arg_gbl"):
+        inner = text[text.index("(") + 1 : text.rindex(")")]
+        fields = split_top_level(inner)
+        if len(fields) != 4:
+            raise TranslatorParseError(f"op_arg_gbl expects 4 arguments, got {len(fields)}: {text!r}")
+        data, dim, type_name, access = fields
+        return ArgDescriptor(
+            dat=data.strip().lstrip("&"),
+            index=-1,
+            map_name="OP_ID",
+            dim=_parse_int(dim, "op_arg_gbl dim"),
+            type_name=_unquote(type_name),
+            access=access.strip(),
+            is_global=True,
+        )
+    if text.startswith("op_arg_dat"):
+        inner = text[text.index("(") + 1 : text.rindex(")")]
+        fields = split_top_level(inner)
+        if len(fields) != 6:
+            raise TranslatorParseError(f"op_arg_dat expects 6 arguments, got {len(fields)}: {text!r}")
+        dat, index, map_name, dim, type_name, access = fields
+        return ArgDescriptor(
+            dat=dat.strip(),
+            index=_parse_int(index, "op_arg_dat index"),
+            map_name=map_name.strip(),
+            dim=_parse_int(dim, "op_arg_dat dim"),
+            type_name=_unquote(type_name),
+            access=access.strip(),
+        )
+    raise TranslatorParseError(f"unrecognised loop argument: {text!r}")
+
+
+def _parse_loop(line: int, argument_text: str) -> LoopSite:
+    fields = split_top_level(argument_text)
+    if len(fields) < 4:
+        raise TranslatorParseError(
+            f"op_par_loop at line {line} needs kernel, name, set and at least one argument"
+        )
+    kernel, loop_name, iteration_set = fields[0], _unquote(fields[1]), fields[2]
+    args = [_parse_arg(field) for field in fields[3:]]
+    return LoopSite(
+        kernel=kernel.strip(),
+        name=loop_name,
+        iteration_set=iteration_set.strip(),
+        args=args,
+        source_line=line,
+    )
+
+
+def parse_source(source: str, *, source_name: str = "<string>") -> ProgramIR:
+    """Parse an application source into a :class:`ProgramIR`.
+
+    Only the OP2 API calls are interpreted; all other code is ignored, which
+    is exactly what the original translator does.
+    """
+    cleaned = strip_comments(source)
+    program = ProgramIR(source_name=source_name)
+
+    for _line, text in extract_calls(cleaned, "op_decl_set"):
+        fields = split_top_level(text)
+        if fields:
+            program.sets.append(_unquote(fields[-1]))
+    for _line, text in extract_calls(cleaned, "op_decl_map"):
+        fields = split_top_level(text)
+        if fields:
+            program.maps.append(_unquote(fields[-1]))
+    for _line, text in extract_calls(cleaned, "op_decl_dat"):
+        fields = split_top_level(text)
+        if fields:
+            program.dats.append(_unquote(fields[-1]))
+    for line, text in extract_calls(cleaned, "op_par_loop"):
+        program.loops.append(_parse_loop(line, text))
+
+    if not program.loops:
+        raise TranslatorParseError(f"{source_name}: no op_par_loop call sites found")
+    return program

@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import SMALL_TEST_MACHINE
+from repro.op2.plan import clear_plan_cache
+from repro.runtime.scheduler import reset_default_scheduler
+from repro.sim.machine import Machine, MachineConfig
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    """Keep global state (plan cache, default scheduler) isolated per test."""
+    clear_plan_cache()
+    reset_default_scheduler()
+    yield
+    clear_plan_cache()
+    reset_default_scheduler()
+
+
+@pytest.fixture
+def small_machine() -> Machine:
+    """A 4-core / 8-thread machine that keeps simulations fast."""
+    return Machine(SMALL_TEST_MACHINE)
+
+
+@pytest.fixture
+def paper_machine() -> Machine:
+    """The paper's 16-core / 32-thread testbed."""
+    return Machine("paper-testbed")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic NumPy RNG."""
+    return np.random.default_rng(42)

@@ -1,0 +1,58 @@
+"""Tests for repro.config (machine presets and defaults)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import config
+from repro.config import MachinePreset, available_presets, get_preset, register_preset
+
+
+class TestPresets:
+    def test_paper_testbed_matches_paper(self):
+        preset = get_preset("paper-testbed")
+        assert preset.num_cores == 16          # 2x 8-core Xeon E5-2630
+        assert preset.smt_per_core == 2        # hyper-threading enabled
+        assert preset.clock_ghz == pytest.approx(2.4)
+        assert preset.max_threads == 32
+
+    def test_small_test_machine_is_smaller(self):
+        small = get_preset("small-test")
+        paper = get_preset("paper-testbed")
+        assert small.num_cores < paper.num_cores
+        assert small.max_threads == small.num_cores * small.smt_per_core
+
+    def test_single_core_preset(self):
+        single = get_preset("single-core")
+        assert single.max_threads == 1
+
+    def test_available_presets_sorted_and_complete(self):
+        names = available_presets()
+        assert names == sorted(names)
+        assert {"paper-testbed", "small-test", "single-core"} <= set(names)
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(KeyError):
+            get_preset("does-not-exist")
+
+    def test_register_preset_and_overwrite_protection(self):
+        preset = MachinePreset(name="unit-test-preset", num_cores=2)
+        register_preset(preset, overwrite=True)
+        assert get_preset("unit-test-preset").num_cores == 2
+        with pytest.raises(ValueError):
+            register_preset(preset)
+        register_preset(preset.with_overrides(num_cores=4), overwrite=True)
+        assert get_preset("unit-test-preset").num_cores == 4
+
+    def test_with_overrides_returns_copy(self):
+        preset = get_preset("paper-testbed")
+        changed = preset.with_overrides(num_cores=8)
+        assert changed.num_cores == 8
+        assert preset.num_cores == 16
+
+
+class TestDefaults:
+    def test_defaults_fields(self):
+        assert config.DEFAULTS.machine_preset == "paper-testbed"
+        assert config.DEFAULTS.prefetch_distance_factor == 15
+        assert config.DEFAULTS.default_backend == "serial"

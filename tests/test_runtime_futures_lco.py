@@ -1,0 +1,336 @@
+"""Tests for futures, promises, LCOs, dataflow and the schedulers."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import (
+    BrokenPromiseError,
+    FutureAlreadySatisfiedError,
+    FutureError,
+    RuntimeStateError,
+    SchedulerError,
+)
+from repro.runtime.dataflow import dataflow, is_future, unwrapped
+from repro.runtime.future import (
+    Future,
+    Promise,
+    SharedFuture,
+    make_exceptional_future,
+    make_ready_future,
+    when_all,
+    when_any,
+)
+from repro.runtime.lco import AndGate, Barrier, Channel, CountingSemaphore, Event, Latch
+from repro.runtime.scheduler import (
+    ImmediateScheduler,
+    WorkStealingScheduler,
+    get_default_scheduler,
+    set_default_scheduler,
+)
+from repro.runtime.runtime import HPXRuntime, runtime_session
+
+
+class TestPromiseFuture:
+    def test_set_value_and_get(self):
+        promise: Promise[int] = Promise()
+        future = promise.get_future()
+        assert not future.is_ready()
+        promise.set_value(41)
+        assert future.is_ready()
+        assert future.get() == 41
+
+    def test_future_is_single_consumer(self):
+        future = make_ready_future(1)
+        assert future.get() == 1
+        with pytest.raises(FutureError):
+            future.get()
+        with pytest.raises(FutureError):
+            future.is_ready()
+
+    def test_future_can_only_be_retrieved_once(self):
+        promise: Promise[int] = Promise()
+        promise.get_future()
+        with pytest.raises(FutureError):
+            promise.get_future()
+
+    def test_double_set_rejected(self):
+        promise: Promise[int] = Promise()
+        promise.set_value(1)
+        with pytest.raises(FutureAlreadySatisfiedError):
+            promise.set_value(2)
+
+    def test_exception_propagates_through_get(self):
+        future = make_exceptional_future(ValueError("boom"))
+        with pytest.raises(ValueError, match="boom"):
+            future.get()
+
+    def test_broken_promise(self):
+        promise: Promise[int] = Promise()
+        future = promise.get_future()
+        promise.break_promise()
+        with pytest.raises(BrokenPromiseError):
+            future.get()
+
+    def test_shared_future_multiple_gets(self):
+        shared = make_ready_future("x").share()
+        assert shared.get() == "x"
+        assert shared.get() == "x"
+        assert shared.is_ready()
+
+    def test_then_continuation_runs_when_ready(self):
+        promise: Promise[int] = Promise()
+        chained = promise.get_future().then(lambda f: f.get() + 1)
+        assert not chained.is_ready()
+        promise.set_value(10)
+        assert chained.get() == 11
+
+    def test_then_on_ready_future_runs_immediately(self):
+        chained = make_ready_future(5).then(lambda f: f.get() * 2)
+        assert chained.get() == 10
+
+    def test_then_propagates_exceptions(self):
+        chained = make_ready_future(5).then(lambda f: 1 / 0)
+        with pytest.raises(ZeroDivisionError):
+            chained.get()
+
+    def test_cross_thread_wait(self):
+        promise: Promise[str] = Promise()
+        future = promise.get_future()
+        producer = threading.Thread(target=lambda: promise.set_value("done"))
+        producer.start()
+        assert future.get(timeout=5.0) == "done"
+        producer.join()
+
+
+class TestWhenAllAny:
+    def test_when_all_values(self):
+        futures = [make_ready_future(i) for i in range(3)]
+        gathered = when_all(futures)
+        ready_list = gathered.get()
+        assert len(ready_list) == 3
+
+    def test_when_all_waits_for_late_futures(self):
+        promise: Promise[int] = Promise()
+        gate = when_all(make_ready_future(1), promise.get_future())
+        assert not gate.is_ready()
+        promise.set_value(2)
+        assert gate.is_ready()
+
+    def test_when_all_empty(self):
+        assert when_all().get() == []
+
+    def test_when_all_rejects_non_future(self):
+        with pytest.raises(FutureError):
+            when_all(42)
+
+    def test_when_any_returns_first_ready(self):
+        slow: Promise[int] = Promise()
+        fast = make_ready_future("fast")
+        index, winner = when_any(slow.get_future(), fast).get()
+        assert index == 1
+        slow.set_value(0)
+
+    def test_when_any_requires_inputs(self):
+        with pytest.raises(FutureError):
+            when_any()
+
+
+class TestDataflow:
+    def test_unwrapped_passes_values(self):
+        result = dataflow(unwrapped(lambda a, b: a + b), make_ready_future(2), 3)
+        assert result.get() == 5
+
+    def test_without_unwrapped_callee_sees_futures(self):
+        def callee(value, future):
+            assert is_future(future)
+            return value + future.get()
+
+        result = dataflow(callee, 1, make_ready_future(2))
+        assert result.get() == 3
+
+    def test_dataflow_waits_for_inputs(self):
+        promise: Promise[int] = Promise()
+        result = dataflow(unwrapped(lambda a: a * 10), promise.get_future())
+        assert not result.is_ready()
+        promise.set_value(7)
+        assert result.get() == 70
+
+    def test_dataflow_chaining_forms_dependency_tree(self):
+        first = dataflow(unwrapped(lambda x: x + 1), make_ready_future(1))
+        second = dataflow(unwrapped(lambda x: x * 2), first)
+        third = dataflow(unwrapped(lambda a, b: a + b), second, make_ready_future(10))
+        assert third.get() == 14
+
+    def test_dataflow_with_task_policy_uses_scheduler(self):
+        from repro.runtime.policies import par_task
+
+        scheduler = ImmediateScheduler()
+        result = dataflow(par_task, unwrapped(lambda a: a + 1), make_ready_future(1),
+                          scheduler=scheduler)
+        assert result.get() == 2
+        assert scheduler.stats.executed >= 1
+
+    def test_dataflow_exception_propagates(self):
+        result = dataflow(unwrapped(lambda a: 1 / a), make_ready_future(0))
+        with pytest.raises(ZeroDivisionError):
+            result.get()
+
+    def test_dataflow_requires_callable(self):
+        with pytest.raises(SchedulerError):
+            dataflow()
+        with pytest.raises(SchedulerError):
+            dataflow(42, make_ready_future(1))
+
+
+class TestLCOs:
+    def test_latch(self):
+        latch = Latch(2)
+        assert not latch.is_ready()
+        latch.count_down()
+        latch.count_down()
+        assert latch.is_ready()
+        assert latch.wait(timeout=0.1)
+        with pytest.raises(RuntimeStateError):
+            latch.count_down()
+
+    def test_latch_validation(self):
+        with pytest.raises(RuntimeStateError):
+            Latch(-1)
+        with pytest.raises(RuntimeStateError):
+            Latch(1).count_down(0)
+
+    def test_barrier_generations(self):
+        barrier = Barrier(2)
+        results = []
+
+        def worker():
+            results.append(barrier.arrive_and_wait())
+
+        threads = [threading.Thread(target=worker) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sorted(results) == [0, 1]
+        assert barrier.generations == 1
+
+    def test_counting_semaphore(self):
+        semaphore = CountingSemaphore(1)
+        assert semaphore.try_wait()
+        assert not semaphore.try_wait()
+        semaphore.signal()
+        assert semaphore.wait(timeout=0.1)
+
+    def test_event(self):
+        event = Event()
+        assert not event.occurred()
+        event.set()
+        assert event.wait(timeout=0.1)
+        event.reset()
+        assert not event.occurred()
+
+    def test_and_gate_opens_after_all_inputs(self):
+        gate = AndGate(3)
+        future = gate.get_future()
+        gate.set(2)
+        assert not future.is_ready()
+        gate.set()
+        assert future.is_ready()
+        with pytest.raises(RuntimeStateError):
+            gate.set()
+
+    def test_channel_buffered_and_waiting(self):
+        channel: Channel[int] = Channel()
+        channel.set(1)
+        assert channel.get().get() == 1
+        pending = channel.get()
+        assert not pending.is_ready()
+        channel.set(2)
+        assert pending.get() == 2
+
+    def test_channel_close_fails_pending_gets(self):
+        channel: Channel[int] = Channel()
+        pending = channel.get()
+        channel.close()
+        with pytest.raises(RuntimeStateError):
+            pending.get()
+        with pytest.raises(RuntimeStateError):
+            channel.set(1)
+
+
+class TestSchedulers:
+    def test_immediate_scheduler_runs_inline(self):
+        scheduler = ImmediateScheduler()
+        assert scheduler.spawn(lambda a, b: a * b, 6, 7).get() == 42
+        assert scheduler.stats.spawned == 1
+        assert scheduler.num_workers == 1
+
+    def test_work_stealing_scheduler_executes_many_tasks(self):
+        scheduler = WorkStealingScheduler(num_workers=2)
+        try:
+            futures = [scheduler.spawn(lambda i=i: i * i) for i in range(50)]
+            assert [future.get(timeout=10) for future in futures] == [i * i for i in range(50)]
+            assert scheduler.wait_idle(timeout=10)
+            assert scheduler.stats.executed == 50
+        finally:
+            scheduler.shutdown()
+
+    def test_work_stealing_scheduler_propagates_exceptions(self):
+        scheduler = WorkStealingScheduler(num_workers=2)
+        try:
+            future = scheduler.spawn(lambda: 1 / 0)
+            with pytest.raises(ZeroDivisionError):
+                future.get(timeout=10)
+        finally:
+            scheduler.shutdown()
+
+    def test_shutdown_rejects_new_work(self):
+        scheduler = WorkStealingScheduler(num_workers=1)
+        scheduler.shutdown()
+        with pytest.raises(RuntimeStateError):
+            scheduler.spawn(lambda: None)
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(SchedulerError):
+            WorkStealingScheduler(num_workers=0)
+
+    def test_default_scheduler_management(self):
+        default = get_default_scheduler()
+        assert isinstance(default, ImmediateScheduler)
+        replacement = ImmediateScheduler()
+        previous = set_default_scheduler(replacement)
+        assert get_default_scheduler() is replacement
+        set_default_scheduler(previous)
+        with pytest.raises(SchedulerError):
+            set_default_scheduler("not a scheduler")  # type: ignore[arg-type]
+
+
+class TestHPXRuntime:
+    def test_runtime_installs_and_restores_scheduler(self):
+        before = get_default_scheduler()
+        with HPXRuntime(num_worker_threads=2) as runtime:
+            assert runtime.is_running
+            assert runtime.get_num_worker_threads() == 2
+            assert get_default_scheduler() is runtime.scheduler
+        assert get_default_scheduler() is before
+
+    def test_inline_runtime(self):
+        with runtime_session(0) as runtime:
+            assert isinstance(runtime.scheduler, ImmediateScheduler)
+
+    def test_double_start_rejected(self):
+        runtime = HPXRuntime(1, inline=True)
+        runtime.start()
+        try:
+            with pytest.raises(RuntimeStateError):
+                runtime.start()
+        finally:
+            runtime.stop()
+
+    def test_scheduler_access_requires_running(self):
+        runtime = HPXRuntime(1, inline=True)
+        with pytest.raises(RuntimeStateError):
+            _ = runtime.scheduler

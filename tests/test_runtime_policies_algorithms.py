@@ -1,0 +1,279 @@
+"""Tests for execution policies, chunk-size policies, for_each and prefetching."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ChunkingError, PolicyError, PrefetchError
+from repro.runtime.algorithms import for_each, for_loop, parallel_reduce, parallel_transform
+from repro.runtime.chunking import (
+    AutoChunkSize,
+    DynamicChunkSize,
+    GuidedChunkSize,
+    PersistentAutoChunkSize,
+    PersistentChunkRegistry,
+    StaticChunkSize,
+    split_into_chunks,
+)
+from repro.runtime.future import Future
+from repro.runtime.policies import (
+    ExecutionPolicy,
+    execution_policy_table,
+    par,
+    par_task,
+    par_vec,
+    seq,
+    seq_task,
+    task,
+)
+from repro.runtime.prefetching import PrefetcherContext, make_prefetcher_context
+from repro.runtime.scheduler import ImmediateScheduler
+from repro.sim.cache import CacheConfig, CacheModel
+
+
+class TestExecutionPolicies:
+    def test_table_matches_paper_table1(self):
+        table = execution_policy_table()
+        rows = {row["policy"]: row for row in table}
+        assert rows["seq"]["description"] == "sequential execution"
+        assert rows["par"]["description"] == "parallel execution"
+        assert rows["par_vec"]["description"] == "parallel and vectorized execution"
+        assert rows["seq(task)"]["description"] == "sequential and asynchronous execution"
+        assert rows["par(task)"]["description"] == "parallel and asynchronous execution"
+        assert rows["par_vec"]["implemented_by"] == "Parallelism TS"
+        assert rows["par(task)"]["implemented_by"] == "HPX"
+        assert len(table) == 5
+
+    def test_task_modifier(self):
+        assert not par.is_task
+        assert par(task).is_task
+        assert par_task.is_task and seq_task.is_task
+        assert par(task).label == "par(task)"
+
+    def test_task_modifier_rejects_other_markers(self):
+        with pytest.raises(PolicyError):
+            par("task")  # type: ignore[arg-type]
+
+    def test_on_and_with_return_new_policies(self):
+        scheduler = ImmediateScheduler()
+        chunker = StaticChunkSize(4)
+        bound = par.on(scheduler).with_(chunker)
+        assert bound.scheduler is scheduler
+        assert bound.chunker is chunker
+        assert par.scheduler is None and par.chunker is None
+
+    def test_on_and_with_validation(self):
+        with pytest.raises(PolicyError):
+            par.on("nope")  # type: ignore[arg-type]
+        with pytest.raises(PolicyError):
+            par.with_("nope")  # type: ignore[arg-type]
+
+    def test_policies_are_frozen_values(self):
+        assert seq == ExecutionPolicy(name="seq", parallel=False)
+        assert par_vec.vectorized
+
+
+class TestChunkPolicies:
+    def test_split_into_chunks_sums_to_total(self):
+        assert split_into_chunks(10, 3) == [3, 3, 3, 1]
+        assert split_into_chunks(9, 3) == [3, 3, 3]
+        assert split_into_chunks(0, 3) == []
+        with pytest.raises(ChunkingError):
+            split_into_chunks(5, 0)
+        with pytest.raises(ChunkingError):
+            split_into_chunks(-1, 1)
+
+    def test_static_chunk_size(self):
+        assert StaticChunkSize(4).chunk_sizes(10, 2) == [4, 4, 2]
+        with pytest.raises(ChunkingError):
+            StaticChunkSize(0)
+
+    def test_auto_count_based(self):
+        sizes = AutoChunkSize(chunks_per_worker=2).chunk_sizes(100, 5)
+        assert sum(sizes) == 100
+        assert len(sizes) == pytest.approx(10, abs=1)
+
+    def test_auto_time_based_targets_duration(self):
+        auto = AutoChunkSize(target_chunk_seconds=1e-3)
+        size = auto.determine_chunk_size(100_000, 4, time_per_iteration=1e-6)
+        assert size == 1000
+
+    def test_auto_never_leaves_workers_idle(self):
+        auto = AutoChunkSize(target_chunk_seconds=10.0)  # huge target
+        sizes = auto.chunk_sizes(100, 4, time_per_iteration=1e-6)
+        assert len(sizes) >= 4
+
+    def test_guided_sizes_decrease(self):
+        sizes = GuidedChunkSize().chunk_sizes(1000, 4)
+        assert sum(sizes) == 1000
+        assert sizes[0] >= sizes[-1]
+
+    def test_dynamic_chunks(self):
+        policy = DynamicChunkSize(chunk_size=100)
+        assert policy.dynamic_assignment
+        assert sum(policy.chunk_sizes(1050, 8)) == 1050
+
+    def test_persistent_registry_establish_once(self):
+        registry = PersistentChunkRegistry()
+        assert registry.target_chunk_seconds is None
+        assert registry.establish_target("first", 2e-3) == 2e-3
+        assert registry.establish_target("second", 9e-3) == 2e-3  # unchanged
+        assert registry.anchor_loop == "first"
+        registry.reset()
+        assert registry.target_chunk_seconds is None
+
+    def test_persistent_registry_validation(self):
+        registry = PersistentChunkRegistry()
+        with pytest.raises(ChunkingError):
+            registry.establish_target("x", 0.0)
+        with pytest.raises(ChunkingError):
+            registry.register_measurement("x", -1.0)
+
+    def test_persistent_auto_equalises_chunk_durations(self):
+        """The heart of Fig. 12: dependent loops get chunks of equal duration."""
+        registry = PersistentChunkRegistry()
+        policy = PersistentAutoChunkSize(registry=registry)
+        # First (anchor) loop: 1 us per iteration.
+        first = policy.chunk_sizes(100_000, 8, time_per_iteration=1e-6, loop_key="first")
+        target = registry.target_chunk_seconds
+        assert target == pytest.approx(first[0] * 1e-6)
+        # Second loop is 4x as expensive per iteration -> chunks 4x smaller.
+        second = policy.chunk_sizes(100_000, 8, time_per_iteration=4e-6, loop_key="second")
+        assert second[0] == pytest.approx(first[0] / 4, rel=0.05)
+        # ... but equal duration.
+        assert second[0] * 4e-6 == pytest.approx(first[0] * 1e-6, rel=0.05)
+
+    def test_persistent_auto_without_timing_falls_back_to_auto(self):
+        policy = PersistentAutoChunkSize(registry=PersistentChunkRegistry())
+        sizes = policy.chunk_sizes(1000, 4)
+        assert sum(sizes) == 1000
+
+    def test_persistent_auto_uses_registered_measurement(self):
+        registry = PersistentChunkRegistry()
+        registry.register_measurement("loop", 1e-6)
+        policy = PersistentAutoChunkSize(registry=registry)
+        sizes = policy.chunk_sizes(100_000, 8, loop_key="loop")
+        assert sum(sizes) == 100_000
+
+
+class TestForEach:
+    def test_sequential_and_parallel_visit_everything(self):
+        for policy in (seq, par):
+            seen: list[int] = []
+            assert for_each(policy, range(100), seen.append) is None
+            assert sorted(seen) == list(range(100))
+
+    def test_task_policy_returns_future(self):
+        seen: list[int] = []
+        outcome = for_each(par_task, range(10), seen.append)
+        assert isinstance(outcome, Future)
+        outcome.get()
+        assert sorted(seen) == list(range(10))
+
+    def test_sequence_input(self):
+        items = ["a", "b", "c"]
+        seen: list[str] = []
+        for_each(par, items, seen.append)
+        assert sorted(seen) == items
+
+    def test_empty_range(self):
+        assert for_each(par, range(0), lambda i: 1 / 0) is None
+        future = for_each(par_task, range(0), lambda i: 1 / 0)
+        assert future.get() is None
+
+    def test_requires_policy(self):
+        with pytest.raises(PolicyError):
+            for_each("par", range(3), print)  # type: ignore[arg-type]
+        with pytest.raises(PolicyError):
+            for_each(par, 42, print)  # type: ignore[arg-type]
+
+    def test_explicit_chunker_controls_chunk_count(self):
+        scheduler = ImmediateScheduler()
+        for_each(par, range(100), lambda i: None, chunker=StaticChunkSize(10),
+                 scheduler=scheduler)
+        assert scheduler.stats.spawned == 10
+
+    def test_for_each_calibrates_persistent_chunker(self):
+        registry = PersistentChunkRegistry()
+        chunker = PersistentAutoChunkSize(registry=registry)
+        for_each(par, range(500), lambda i: sum(range(20)), chunker=chunker, loop_key="probe")
+        assert registry.measurement("probe") is not None
+        assert registry.target_chunk_seconds is not None
+
+    def test_for_loop(self):
+        seen: list[int] = []
+        for_loop(seq, 3, 7, seen.append)
+        assert seen == [3, 4, 5, 6]
+
+    def test_parallel_transform_preserves_order(self):
+        result = parallel_transform(par, list(range(20)), lambda x: x * x)
+        assert result == [x * x for x in range(20)]
+        future = parallel_transform(par_task, [1, 2, 3], lambda x: -x)
+        assert future.get() == [-1, -2, -3]
+
+    def test_parallel_reduce(self):
+        assert parallel_reduce(par, list(range(1, 101)), lambda a, b: a + b, 0) == 5050
+        assert parallel_reduce(seq, [], lambda a, b: a + b, 7) == 7
+        future = parallel_reduce(par_task, [1, 2, 3, 4], lambda a, b: a * b, 1)
+        assert future.get() == 24
+
+
+class TestPrefetcherContext:
+    def test_iteration_covers_range_and_prefetches_ahead(self):
+        data_a = np.arange(100, dtype=np.float64)
+        data_b = np.arange(100, dtype=np.float64)
+        ctx = make_prefetcher_context(0, 100, 10, data_a, data_b)
+        indices = list(ctx)
+        assert indices == list(range(100))
+        assert ctx.stats.issued == 2 * 100
+        # The last `distance` iterations have nothing left to prefetch.
+        assert ctx.stats.beyond_range == 2 * 10
+        assert ctx.stats.accuracy == pytest.approx(0.9)
+
+    def test_validation(self):
+        data = np.zeros(10)
+        with pytest.raises(PrefetchError):
+            make_prefetcher_context(5, 0, 1, data)
+        with pytest.raises(PrefetchError):
+            make_prefetcher_context(0, 10, 0, data)
+        with pytest.raises(PrefetchError):
+            make_prefetcher_context(0, 10, 1)
+        with pytest.raises(PrefetchError):
+            PrefetcherContext(0, 10, 1, [object()])
+
+    def test_mixed_container_types_supported(self):
+        """'It works with any data types even ... different type for each container'."""
+        floats = np.zeros(50, dtype=np.float64)
+        ints = np.zeros(50, dtype=np.int32)
+        wide = np.zeros((50, 4), dtype=np.float64)
+        plain = list(range(50))
+        ctx = make_prefetcher_context(0, 50, 5, floats, ints, wide, plain)
+        assert ctx.num_containers == 4
+        assert ctx.bytes_per_iteration() == 8 + 4 + 32 + 8
+        list(ctx)
+
+    def test_cache_observes_prefetches(self):
+        cache = CacheModel(CacheConfig(capacity_bytes=4096, line_bytes=64))
+        data = np.arange(256, dtype=np.float64)
+        ctx = make_prefetcher_context(0, 256, 8, data, cache=cache)
+        for_each(par, ctx, lambda i: None)
+        assert cache.stats.prefetches_issued > 0
+        assert cache.stats.prefetch_hits > 0
+        # Prefetching ahead means most demand accesses hit.
+        assert cache.stats.miss_rate < 0.2
+
+    def test_chunk_respects_bounds(self):
+        data = np.zeros(20)
+        ctx = make_prefetcher_context(0, 20, 2, data)
+        assert list(ctx.chunk(5, 10)) == [5, 6, 7, 8, 9]
+        with pytest.raises(PrefetchError):
+            list(ctx.chunk(15, 25))
+
+    def test_for_each_over_prefetcher_context_computes_correctly(self):
+        a = np.arange(1000, dtype=np.float64)
+        b = np.arange(1000, dtype=np.float64) * 2
+        out = np.zeros(1000)
+        ctx = make_prefetcher_context(0, 1000, 15, a, b, out)
+        for_each(par, ctx, lambda i: out.__setitem__(i, a[i] + b[i]))
+        np.testing.assert_allclose(out, a + b)

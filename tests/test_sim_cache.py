@@ -1,0 +1,136 @@
+"""Tests for the cache model (repro.sim.cache)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CacheConfigError
+from repro.sim.cache import CacheConfig, CacheModel, CacheStats, streaming_miss_fraction
+
+
+class TestCacheConfig:
+    def test_defaults_are_valid(self):
+        config = CacheConfig()
+        assert config.num_lines == config.capacity_bytes // config.line_bytes
+        assert config.num_sets * config.associativity == config.num_lines
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"capacity_bytes": 0},
+            {"capacity_bytes": -1},
+            {"line_bytes": 48},          # not a power of two
+            {"line_bytes": 0},
+            {"associativity": 0},
+            {"capacity_bytes": 100, "line_bytes": 64},   # capacity not multiple of line
+            {"hit_latency_cycles": -1},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(CacheConfigError):
+            CacheConfig(**kwargs)
+
+    def test_fully_associative_allowed(self):
+        config = CacheConfig(capacity_bytes=1024, line_bytes=64, associativity=16)
+        assert config.num_sets == 1
+
+
+class TestCacheModel:
+    def make(self, **kwargs) -> CacheModel:
+        return CacheModel(CacheConfig(capacity_bytes=1024, line_bytes=64, associativity=4, **kwargs))
+
+    def test_first_access_misses_second_hits(self):
+        cache = self.make()
+        assert cache.access(0) == cache.config.miss_latency_cycles
+        assert cache.access(8) == cache.config.hit_latency_cycles  # same line
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_distinct_lines_miss_separately(self):
+        cache = self.make()
+        cache.access(0)
+        cache.access(64)
+        assert cache.stats.misses == 2
+
+    def test_lru_eviction_within_set(self):
+        cache = self.make()
+        config = cache.config
+        # Fill one set beyond its associativity: addresses mapping to set 0.
+        stride = config.num_sets * config.line_bytes
+        for way in range(config.associativity + 1):
+            cache.access(way * stride)
+        assert cache.stats.evictions == 1
+        # The least recently used line (way 0) was evicted and misses again.
+        assert cache.access(0) == config.miss_latency_cycles
+
+    def test_prefetch_hides_subsequent_demand_miss(self):
+        cache = self.make()
+        assert cache.prefetch(128) is True
+        latency = cache.access(128)
+        assert latency == cache.config.hit_latency_cycles
+        assert cache.stats.prefetch_hits == 1
+        assert cache.stats.prefetch_accuracy == 1.0
+
+    def test_redundant_prefetch_detected(self):
+        cache = self.make()
+        cache.access(0)
+        assert cache.prefetch(0) is False
+
+    def test_unused_prefetch_counted_on_flush(self):
+        cache = self.make()
+        cache.prefetch(0)
+        cache.flush()
+        assert cache.stats.prefetches_unused == 1
+        assert cache.resident_lines() == 0
+
+    def test_access_range_touches_every_line(self):
+        cache = self.make()
+        cache.access_range(0, 64 * 5)
+        assert cache.stats.misses == 5
+
+    def test_prefetch_range_counts_new_lines(self):
+        cache = self.make()
+        assert cache.prefetch_range(0, 256) == 4
+        assert cache.prefetch_range(0, 256) == 0
+
+    def test_reset_clears_everything(self):
+        cache = self.make()
+        cache.access(0)
+        cache.reset()
+        assert cache.stats.accesses == 0
+        assert cache.resident_lines() == 0
+
+    def test_contains_does_not_update_lru(self):
+        cache = self.make()
+        cache.access(0)
+        assert cache.contains(0)
+        assert not cache.contains(4096)
+
+    def test_stats_merge(self):
+        a = CacheStats(accesses=10, hits=6, misses=4)
+        b = CacheStats(accesses=2, hits=1, misses=1)
+        merged = a.merge(b)
+        assert merged.accesses == 12 and merged.hits == 7 and merged.misses == 5
+        assert merged.miss_rate == pytest.approx(5 / 12)
+
+    def test_empty_stats_rates(self):
+        stats = CacheStats()
+        assert stats.miss_rate == 0.0
+        assert stats.prefetch_accuracy == 0.0
+
+
+class TestStreamingMissFraction:
+    def test_one_miss_per_line(self):
+        assert streaming_miss_fraction(64, 64) == pytest.approx(1.0)
+        assert streaming_miss_fraction(8, 64) == pytest.approx(0.125)
+
+    def test_reuse_reduces_misses(self):
+        assert streaming_miss_fraction(64, 64, reuse_fraction=0.5) == pytest.approx(0.5)
+
+    def test_zero_bytes_means_no_misses(self):
+        assert streaming_miss_fraction(0, 64) == 0.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(CacheConfigError):
+            streaming_miss_fraction(8, 0)
+        with pytest.raises(CacheConfigError):
+            streaming_miss_fraction(8, 64, reuse_fraction=1.5)

@@ -1,0 +1,281 @@
+"""Tests for the cost model, task graph and schedule simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.cost import ChunkCost, KernelCostModel, KernelProfile, PrefetchSpec
+from repro.sim.machine import Machine
+from repro.sim.metrics import parallel_efficiency, speedup_series
+from repro.sim.scheduler_sim import OmpSchedule, ScheduleMode, TaskGraph, simulate_schedule
+from repro.sim.trace import ExecutionTrace, TaskRecord
+
+
+PROFILE = KernelProfile(
+    name="k", cycles_per_element=100.0, bytes_read_per_element=48.0,
+    bytes_written_per_element=16.0, num_containers=3, imbalance=0.0,
+)
+
+
+@pytest.fixture
+def model(paper_machine) -> KernelCostModel:
+    return KernelCostModel(paper_machine)
+
+
+class TestKernelProfile:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            KernelProfile("bad", -1, 0, 0)
+        with pytest.raises(SimulationError):
+            KernelProfile("bad", 1, -1, 0)
+        with pytest.raises(SimulationError):
+            KernelProfile("bad", 1, 0, 0, reuse_fraction=2.0)
+        with pytest.raises(SimulationError):
+            KernelProfile("bad", 1, 0, 0, imbalance=1.0)
+
+    def test_scaled(self):
+        doubled = PROFILE.scaled(2.0)
+        assert doubled.cycles_per_element == pytest.approx(200.0)
+        assert doubled.bytes_per_element == pytest.approx(2 * PROFILE.bytes_per_element)
+        with pytest.raises(SimulationError):
+            PROFILE.scaled(0)
+
+
+class TestPrefetchSpec:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            PrefetchSpec(enabled=True, distance_factor=0)
+        with pytest.raises(SimulationError):
+            PrefetchSpec(cache_budget_fraction=0.0)
+        assert PrefetchSpec(enabled=False).enabled is False
+
+
+class TestChunkCost:
+    def test_cost_scales_linearly_with_elements(self, model):
+        small = model.chunk_cost(PROFILE, 1000)
+        large = model.chunk_cost(PROFILE, 2000)
+        assert large.compute_seconds == pytest.approx(2 * small.compute_seconds)
+        assert large.bytes_moved == pytest.approx(2 * small.bytes_moved)
+
+    def test_negative_elements_rejected(self, model):
+        with pytest.raises(SimulationError):
+            model.chunk_cost(PROFILE, -1)
+
+    def test_spawn_overhead_adds_fixed_cost(self, model, paper_machine):
+        without = model.chunk_cost(PROFILE, 1000)
+        with_overhead = model.chunk_cost(PROFILE, 1000, spawn_overhead=True)
+        delta = with_overhead.overhead_seconds - without.overhead_seconds
+        assert delta == pytest.approx(paper_machine.task_spawn_overhead_s())
+
+    def test_prefetch_reduces_memory_time_at_good_distance(self, model):
+        plain = model.chunk_cost(PROFILE, 10_000)
+        prefetched = model.chunk_cost(
+            PROFILE, 10_000, prefetch=PrefetchSpec(enabled=True, distance_factor=15)
+        )
+        assert prefetched.memory_seconds < plain.memory_seconds
+        assert prefetched.hidden_fraction > 0.5
+
+    def test_prefetch_distance_sweep_is_non_monotone(self, model):
+        distances = [1, 5, 15, 400, 4000]
+        times = [
+            model.chunk_cost(
+                PROFILE, 10_000, prefetch=PrefetchSpec(enabled=True, distance_factor=d)
+            ).total_seconds
+            for d in distances
+        ]
+        best = distances[times.index(min(times))]
+        assert best in (5, 15)           # optimum at a moderate distance
+        assert times[-1] > min(times)    # very large distances collapse
+
+    def test_imbalance_position_bump_increases_middle_chunk(self, paper_machine):
+        imbalanced = KernelProfile(
+            name="imb", cycles_per_element=100.0, bytes_read_per_element=8.0,
+            bytes_written_per_element=8.0, imbalance=0.3,
+        )
+        model = KernelCostModel(paper_machine)
+        middle = model.chunk_cost(imbalanced, 1000, chunk_index=0, position=(0.5, 0.6))
+        edge = model.chunk_cost(imbalanced, 1000, chunk_index=0, position=(0.0, 0.1))
+        assert middle.compute_seconds > edge.compute_seconds
+
+    def test_spatial_bump_averages_out_over_whole_range(self, paper_machine):
+        """The total work of a loop must not depend on how it is chunked."""
+        imbalanced = KernelProfile(
+            name="imb", cycles_per_element=100.0, bytes_read_per_element=8.0,
+            bytes_written_per_element=8.0, imbalance=0.3,
+        )
+        model = KernelCostModel(paper_machine)
+        whole = model.chunk_cost(imbalanced, 32_000, chunk_index=0, position=(0.0, 1.0))
+        pieces = sum(
+            model.chunk_cost(
+                imbalanced, 1000, chunk_index=0, position=(i / 32, (i + 1) / 32)
+            ).compute_seconds
+            for i in range(32)
+        )
+        assert pieces == pytest.approx(whole.compute_seconds, rel=0.02)
+
+    def test_scaled_duration_validation(self, model):
+        cost = model.chunk_cost(PROFILE, 100)
+        assert cost.scaled_duration(speed_factor=0.5) > cost.scaled_duration(speed_factor=1.0)
+        assert cost.scaled_duration(contention=2.0) > cost.total_seconds
+        with pytest.raises(SimulationError):
+            cost.scaled_duration(speed_factor=0.0)
+        with pytest.raises(SimulationError):
+            cost.scaled_duration(contention=0.5)
+
+    def test_elements_for_duration_inverts_cost(self, model):
+        per_iter = model.chunk_cost(PROFILE, 1024).total_seconds / 1024
+        target = 200 * per_iter
+        elements = model.elements_for_duration(PROFILE, target)
+        assert elements == pytest.approx(200, rel=0.05)
+        with pytest.raises(SimulationError):
+            model.elements_for_duration(PROFILE, 0.0)
+
+
+def _build_graph(model: KernelCostModel, *, phases: int, chunks: int, chain: bool) -> TaskGraph:
+    graph = TaskGraph()
+    for phase in range(phases):
+        for chunk in range(chunks):
+            deps = []
+            if chain and phase > 0:
+                deps = [(phase - 1) * chunks + chunk]
+            graph.add(
+                name=f"p{phase}c{chunk}",
+                loop_name=f"loop{phase}",
+                phase=phase,
+                chunk_index=chunk,
+                cost=model.chunk_cost(PROFILE, 4000, chunk_index=chunk),
+                deps=deps,
+            )
+    return graph
+
+
+class TestTaskGraph:
+    def test_forward_dependency_rejected(self, model):
+        graph = TaskGraph()
+        with pytest.raises(SimulationError):
+            graph.add("a", "l", 0, 0, model.chunk_cost(PROFILE, 10), deps=[5])
+
+    def test_totals_and_critical_path(self, model):
+        graph = _build_graph(model, phases=3, chunks=2, chain=True)
+        assert len(graph) == 6
+        assert graph.total_work_seconds() > 0
+        # A 3-deep chain: the critical path is about half the total work.
+        assert graph.critical_path_seconds() == pytest.approx(
+            graph.total_work_seconds() / 2, rel=0.05
+        )
+
+    def test_upward_ranks_decrease_along_chains(self, model):
+        graph = _build_graph(model, phases=3, chunks=1, chain=True)
+        ranks = graph.upward_ranks()
+        assert ranks[0] > ranks[1] > ranks[2]
+
+    def test_phase_queries(self, model):
+        graph = _build_graph(model, phases=2, chunks=3, chain=False)
+        assert graph.phases() == [0, 1]
+        assert [t.chunk_index for t in graph.tasks_in_phase(1)] == [0, 1, 2]
+
+
+class TestSimulateSchedule:
+    def test_dataflow_and_barrier_agree_on_one_thread(self, paper_machine, model):
+        graph = _build_graph(model, phases=4, chunks=4, chain=True)
+        barrier = simulate_schedule(graph, paper_machine, 1, ScheduleMode.BARRIER)
+        dataflow = simulate_schedule(graph, paper_machine, 1, ScheduleMode.DATAFLOW)
+        # One worker: both execute all work serially; barrier adds fork/join.
+        assert dataflow.makespan_seconds <= barrier.makespan_seconds
+        assert dataflow.makespan_seconds == pytest.approx(
+            barrier.makespan_seconds, rel=0.05
+        )
+
+    def test_more_threads_never_slower(self, paper_machine, model):
+        graph = _build_graph(model, phases=4, chunks=16, chain=True)
+        previous = None
+        for threads in (1, 2, 4, 8, 16):
+            result = simulate_schedule(graph, paper_machine, threads, ScheduleMode.DATAFLOW)
+            if previous is not None:
+                assert result.makespan_seconds <= previous * 1.01
+            previous = result.makespan_seconds
+
+    def test_dataflow_beats_barrier_with_dependencies(self, paper_machine, model):
+        graph = _build_graph(model, phases=8, chunks=16, chain=True)
+        barrier = simulate_schedule(graph, paper_machine, 16, ScheduleMode.BARRIER)
+        dataflow = simulate_schedule(graph, paper_machine, 16, ScheduleMode.DATAFLOW)
+        assert dataflow.makespan_seconds < barrier.makespan_seconds
+
+    def test_makespan_at_least_critical_path_and_work_bound(self, paper_machine, model):
+        graph = _build_graph(model, phases=4, chunks=8, chain=True)
+        result = simulate_schedule(graph, paper_machine, 8, ScheduleMode.DATAFLOW)
+        assert result.makespan_seconds >= graph.critical_path_seconds() * 0.999
+        assert result.makespan_seconds >= graph.total_work_seconds() / 8 * 0.999
+
+    def test_trace_consistency(self, paper_machine, model):
+        graph = _build_graph(model, phases=3, chunks=8, chain=False)
+        result = simulate_schedule(graph, paper_machine, 4, ScheduleMode.DATAFLOW)
+        trace = result.trace
+        assert len(trace) == len(graph)
+        trace.validate_no_worker_overlap()
+        assert trace.makespan == pytest.approx(result.makespan_seconds)
+        assert result.total_bytes == pytest.approx(graph.total_bytes())
+
+    def test_omp_dynamic_at_least_as_good_as_static(self, paper_machine, model):
+        graph = _build_graph(model, phases=2, chunks=64, chain=False)
+        static = simulate_schedule(
+            graph, paper_machine, 8, ScheduleMode.BARRIER, omp_schedule=OmpSchedule.STATIC
+        )
+        dynamic = simulate_schedule(
+            graph, paper_machine, 8, ScheduleMode.BARRIER, omp_schedule=OmpSchedule.DYNAMIC
+        )
+        assert dynamic.makespan_seconds <= static.makespan_seconds * 1.001
+
+    def test_dependencies_respected_in_dataflow_trace(self, paper_machine, model):
+        graph = _build_graph(model, phases=3, chunks=2, chain=True)
+        result = simulate_schedule(graph, paper_machine, 4, ScheduleMode.DATAFLOW)
+        finish = {record.task_id: record.end for record in result.trace}
+        start = {record.task_id: record.start for record in result.trace}
+        for task in graph.tasks:
+            for dep in task.deps:
+                assert start[task.task_id] >= finish[dep] - 1e-12
+
+    def test_empty_graph(self, paper_machine):
+        result = simulate_schedule(TaskGraph(), paper_machine, 4, ScheduleMode.DATAFLOW)
+        assert result.makespan_seconds == 0.0
+
+
+class TestTraceAndMetrics:
+    def test_trace_rejects_bad_records(self):
+        trace = ExecutionTrace(2)
+        with pytest.raises(SimulationError):
+            trace.add(TaskRecord(0, "t", "l", 0, 0, worker_id=5, core_id=0, start=0.0, end=1.0))
+        with pytest.raises(SimulationError):
+            TaskRecord(0, "t", "l", 0, 0, worker_id=0, core_id=0, start=1.0, end=0.5)
+
+    def test_trace_aggregates(self):
+        trace = ExecutionTrace(2)
+        trace.add(TaskRecord(0, "a", "l0", 0, 0, 0, 0, 0.0, 1.0, bytes_moved=100))
+        trace.add(TaskRecord(1, "b", "l1", 1, 0, 1, 1, 0.5, 2.0, bytes_moved=50))
+        assert trace.makespan == 2.0
+        assert trace.busy_seconds() == pytest.approx(2.5)
+        assert trace.busy_seconds(0) == pytest.approx(1.0)
+        assert trace.idle_seconds() == pytest.approx(2.0 * 2 - 2.5)
+        assert 0.0 < trace.utilisation() < 1.0
+        assert trace.total_bytes == 150
+        assert trace.phases() == [0, 1]
+        assert trace.phase_overlap_seconds(0, 1) == pytest.approx(0.5)
+        assert trace.loop_names() == ["l0", "l1"]
+        assert len(trace.records_for_loop("l0")) == 1
+
+    def test_speedup_and_efficiency(self):
+        times = {1: 10.0, 2: 5.5, 4: 3.0}
+        speedups = speedup_series(times)
+        assert speedups[1] == pytest.approx(1.0)
+        assert speedups[4] == pytest.approx(10.0 / 3.0)
+        efficiency = parallel_efficiency(times)
+        assert efficiency[2] == pytest.approx(speedups[2] / 2)
+
+    def test_speedup_series_validation(self):
+        from repro.errors import BenchmarkError
+
+        with pytest.raises(BenchmarkError):
+            speedup_series({2: 1.0}, baseline_threads=1)
+        with pytest.raises(BenchmarkError):
+            speedup_series({1: 0.0})

@@ -1,0 +1,222 @@
+"""Tests for the machine model, the event queue and the memory model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MachineConfigError, SimulationError
+from repro.sim.events import EventQueue, SimClock
+from repro.sim.machine import Machine, MachineConfig
+from repro.sim.memory import MemoryModel, MemoryRequest
+
+
+class TestSimClock:
+    def test_advance_forward(self):
+        clock = SimClock()
+        assert clock.advance_to(1.5) == 1.5
+        assert clock.advance_by(0.5) == 2.0
+
+    def test_cannot_go_backwards(self):
+        clock = SimClock(10.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(5.0)
+        with pytest.raises(SimulationError):
+            clock.advance_by(-1.0)
+
+    def test_reset(self):
+        clock = SimClock(3.0)
+        clock.reset()
+        assert clock.now == 0.0
+
+
+class TestEventQueue:
+    def test_events_run_in_time_order(self):
+        queue = EventQueue()
+        order: list[str] = []
+        queue.push(2.0, lambda: order.append("b"))
+        queue.push(1.0, lambda: order.append("a"))
+        queue.push(3.0, lambda: order.append("c"))
+        assert queue.run_until_empty() == 3
+        assert order == ["a", "b", "c"]
+        assert queue.clock.now == 3.0
+
+    def test_same_time_events_run_in_insertion_order(self):
+        queue = EventQueue()
+        order: list[int] = []
+        for index in range(5):
+            queue.push(1.0, lambda i=index: order.append(i))
+        queue.run_until_empty()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_event_can_schedule_more_events(self):
+        queue = EventQueue()
+        seen: list[float] = []
+
+        def chain():
+            seen.append(queue.clock.now)
+            if len(seen) < 3:
+                queue.push_after(1.0, chain)
+
+        queue.push(0.0, chain)
+        queue.run_until_empty()
+        assert seen == [0.0, 1.0, 2.0]
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        hit: list[str] = []
+        event = queue.push(1.0, lambda: hit.append("x"))
+        event.cancel()
+        queue.push(2.0, lambda: hit.append("y"))
+        queue.run_until_empty()
+        assert hit == ["y"]
+
+    def test_scheduling_in_the_past_rejected(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        queue.pop()
+        with pytest.raises(SimulationError):
+            queue.push(0.5, lambda: None)
+
+    def test_len_and_bool(self):
+        queue = EventQueue()
+        assert not queue
+        queue.push(1.0, lambda: None)
+        assert queue and len(queue) == 1
+
+
+class TestMachineConfig:
+    def test_from_preset(self):
+        config = MachineConfig.from_preset("paper-testbed")
+        assert config.num_cores == 16
+        assert config.max_threads == 32
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_cores": 0},
+            {"smt_per_core": 0},
+            {"clock_ghz": 0.0},
+            {"dram_bandwidth_gbs": -1.0},
+            {"smt_efficiency": 0.0},
+            {"smt_efficiency": 1.5},
+        ],
+    )
+    def test_invalid_configs(self, kwargs):
+        with pytest.raises(MachineConfigError):
+            MachineConfig(**kwargs)
+
+
+class TestMachine:
+    def test_cycle_second_roundtrip(self, paper_machine):
+        seconds = paper_machine.cycles_to_seconds(2.4e9)
+        assert seconds == pytest.approx(1.0)
+        assert paper_machine.seconds_to_cycles(seconds) == pytest.approx(2.4e9)
+
+    def test_worker_slots_spread_over_cores_first(self, paper_machine):
+        slots = paper_machine.worker_slots(16)
+        assert len(slots) == 16
+        assert all(slot.speed_factor == 1.0 for slot in slots)
+        assert len({slot.core_id for slot in slots}) == 16
+
+    def test_hyperthreading_slows_shared_cores(self, paper_machine):
+        slots = paper_machine.worker_slots(32)
+        shared = (1.0 + paper_machine.config.smt_efficiency) / 2.0
+        assert all(slot.speed_factor == pytest.approx(shared) for slot in slots)
+
+    def test_partial_ht_only_affects_shared_cores(self, paper_machine):
+        slots = paper_machine.worker_slots(17)
+        shared_cores = [slot for slot in slots if slot.speed_factor < 1.0]
+        assert len(shared_cores) == 2  # worker 0 and worker 16 share core 0
+
+    def test_too_many_threads_rejected(self, paper_machine):
+        with pytest.raises(MachineConfigError):
+            paper_machine.worker_slots(paper_machine.config.max_threads + 1)
+        with pytest.raises(MachineConfigError):
+            paper_machine.worker_slots(0)
+
+    def test_memory_contention_factor(self, paper_machine):
+        config = paper_machine.config
+        below = paper_machine.memory_contention_factor(4, 1e9)
+        assert below == 1.0
+        above = paper_machine.memory_contention_factor(32, 2e9)
+        assert above == pytest.approx(64.0 / config.dram_bandwidth_gbs)
+
+    def test_overhead_helpers_positive_and_scale_with_threads(self, paper_machine):
+        assert paper_machine.fork_join_overhead_s(32) > paper_machine.fork_join_overhead_s(1)
+        assert paper_machine.barrier_overhead_s(8) > 0
+        assert paper_machine.task_spawn_overhead_s() > 0
+        assert paper_machine.dependency_overhead_s() > 0
+
+    def test_machine_from_string_and_invalid(self):
+        machine = Machine("small-test")
+        assert machine.config.num_cores == 4
+        with pytest.raises(MachineConfigError):
+            Machine(3.14)  # type: ignore[arg-type]
+
+    def test_core_cache_uses_machine_geometry(self, paper_machine):
+        cache = paper_machine.make_core_cache()
+        assert cache.config.line_bytes == paper_machine.config.cache_line_bytes
+        assert cache.config.capacity_bytes == paper_machine.config.l1_kib * 1024
+
+
+class TestMemoryModel:
+    def make(self) -> MemoryModel:
+        return MemoryModel(MachineConfig.from_preset("paper-testbed"))
+
+    def test_request_validation(self):
+        with pytest.raises(SimulationError):
+            MemoryRequest(bytes_read=-1, bytes_written=0, demand_misses=0)
+        with pytest.raises(SimulationError):
+            MemoryRequest(bytes_read=0, bytes_written=0, demand_misses=-1)
+        with pytest.raises(SimulationError):
+            MemoryRequest(bytes_read=0, bytes_written=0, demand_misses=0, reuse_fraction=2.0)
+
+    def test_demand_stall_scales_with_misses(self):
+        model = self.make()
+        small = MemoryRequest(bytes_read=64, bytes_written=0, demand_misses=1)
+        large = MemoryRequest(bytes_read=640, bytes_written=0, demand_misses=10)
+        assert model.demand_stall_cycles(large) == pytest.approx(
+            10 * model.demand_stall_cycles(small)
+        )
+
+    def test_reuse_reduces_demand_stall(self):
+        model = self.make()
+        base = MemoryRequest(bytes_read=640, bytes_written=0, demand_misses=10)
+        reused = MemoryRequest(bytes_read=640, bytes_written=0, demand_misses=10, reuse_fraction=0.5)
+        assert model.demand_stall_cycles(reused) == pytest.approx(
+            0.5 * model.demand_stall_cycles(base)
+        )
+
+    def test_good_prefetch_beats_no_prefetch(self):
+        model = self.make()
+        request = MemoryRequest(bytes_read=6400, bytes_written=0, demand_misses=100)
+        baseline = model.demand_stall_cycles(request)
+        prefetched = model.prefetched_stall_cycles(request, hidden_fraction=0.95)
+        assert prefetched < baseline
+
+    def test_bad_prefetch_is_worse_than_hardware_only(self):
+        model = self.make()
+        request = MemoryRequest(bytes_read=6400, bytes_written=0, demand_misses=100)
+        baseline = model.demand_stall_cycles(request)
+        # Hiding no better than hardware + lots of wasted prefetches.
+        wasted = model.prefetched_stall_cycles(
+            request, hidden_fraction=0.0, extra_prefetches=500
+        )
+        assert wasted > baseline
+
+    def test_invalid_hidden_fraction(self):
+        model = self.make()
+        request = MemoryRequest(bytes_read=64, bytes_written=0, demand_misses=1)
+        with pytest.raises(SimulationError):
+            model.prefetched_stall_cycles(request, hidden_fraction=1.5)
+
+    def test_record_accumulates(self):
+        model = self.make()
+        request = MemoryRequest(bytes_read=100, bytes_written=28, demand_misses=2)
+        model.record(request, stall_cycles=10.0, prefetches=3)
+        model.record(request, stall_cycles=5.0)
+        assert model.total_bytes_moved == pytest.approx(256)
+        assert model.total_stall_cycles == pytest.approx(15.0)
+        assert model.total_prefetches == pytest.approx(3)
+        model.reset()
+        assert model.total_bytes_moved == 0.0

@@ -1,0 +1,238 @@
+"""Tests for the source-to-source translator."""
+
+from __future__ import annotations
+
+import types
+
+import numpy as np
+import pytest
+
+from repro.errors import TranslatorCodegenError, TranslatorError, TranslatorParseError
+from repro.translator import (
+    analyse_dependences,
+    generate_hpx_module,
+    generate_openmp_module,
+    op2_translate,
+    parse_source,
+)
+from repro.translator.codegen_common import validate_identifier, wrapper_name
+from repro.translator.ir import ArgDescriptor, LoopSite
+from repro.translator.parser import extract_calls, split_top_level, strip_comments
+
+AIRFOIL_SOURCE = """
+// Airfoil.cpp (abridged to its OP2 call sites)
+op_decl_set(nnode, nodes, "nodes");
+op_decl_set(ncell, cells, "cells");
+op_decl_set(nedge, edges, "edges");
+op_decl_map(edges, cells, 2, ecell, pecell, "pecell");
+op_decl_map(cells, nodes, 4, cell, pcell, "pcell");
+op_decl_dat(cells, 4, "double", q, p_q, "p_q");
+op_decl_dat(cells, 4, "double", qold, p_qold, "p_qold");
+op_decl_dat(cells, 1, "double", adt, p_adt, "p_adt");
+op_decl_dat(cells, 4, "double", res, p_res, "p_res");
+
+op_par_loop(save_soln, "save_soln", cells,
+    op_arg_dat(p_q,    -1, OP_ID, 4, "double", OP_READ),
+    op_arg_dat(p_qold, -1, OP_ID, 4, "double", OP_WRITE));
+
+op_par_loop(adt_calc, "adt_calc", cells,
+    op_arg_dat(p_x, 0, pcell, 2, "double", OP_READ),
+    op_arg_dat(p_q, -1, OP_ID, 4, "double", OP_READ),
+    op_arg_dat(p_adt, -1, OP_ID, 1, "double", OP_WRITE));
+
+op_par_loop(res_calc, "res_calc", edges,
+    op_arg_dat(p_q,   0, pecell, 4, "double", OP_READ),
+    op_arg_dat(p_adt, 0, pecell, 1, "double", OP_READ),
+    op_arg_dat(p_res, 0, pecell, 4, "double", OP_INC),
+    op_arg_dat(p_res, 1, pecell, 4, "double", OP_INC));
+
+op_par_loop(update, "update", cells,
+    op_arg_dat(p_qold, -1, OP_ID, 4, "double", OP_READ),
+    op_arg_dat(p_q,    -1, OP_ID, 4, "double", OP_RW),
+    op_arg_dat(p_res,  -1, OP_ID, 4, "double", OP_RW),
+    op_arg_dat(p_adt,  -1, OP_ID, 1, "double", OP_READ),
+    op_arg_gbl(&rms, 1, "double", OP_INC));
+"""
+
+
+class TestParserHelpers:
+    def test_strip_comments(self):
+        text = "a /* gone */ b // also gone\nc"
+        cleaned = strip_comments(text)
+        assert "gone" not in cleaned and "a" in cleaned and "c" in cleaned
+
+    def test_split_top_level_respects_nesting(self):
+        parts = split_top_level('a, f(b, c), "x,y", d')
+        assert parts == ["a", "f(b, c)", '"x,y"', "d"]
+        with pytest.raises(TranslatorParseError):
+            split_top_level("f(a, b")
+
+    def test_extract_calls_balanced(self):
+        calls = list(extract_calls("foo(1, bar(2, 3)) baz foo(4)", "foo"))
+        assert [text for _line, text in calls] == ["1, bar(2, 3)", "4"]
+
+
+class TestParser:
+    def test_parse_airfoil_source(self):
+        program = parse_source(AIRFOIL_SOURCE, source_name="Airfoil.cpp")
+        assert len(program) == 4
+        assert [loop.name for loop in program.loops] == [
+            "save_soln", "adt_calc", "res_calc", "update"]
+        assert program.sets == ["nodes", "cells", "edges"]
+        assert program.maps == ["pecell", "pcell"]
+        assert "p_q" in program.dats
+        assert program.kernels() == ["save_soln", "adt_calc", "res_calc", "update"]
+
+    def test_loop_site_details(self):
+        program = parse_source(AIRFOIL_SOURCE)
+        res_calc = program.loop("res_calc")
+        assert res_calc.iteration_set == "edges"
+        assert res_calc.has_indirect_increment
+        assert not res_calc.is_direct
+        save = program.loop("save_soln")
+        assert save.is_direct
+        assert save.dats_written() == ["p_qold"]
+        update = program.loop("update")
+        assert update.args[-1].is_global
+        with pytest.raises(TranslatorError):
+            program.loop("not_there")
+
+    def test_source_without_loops_rejected(self):
+        with pytest.raises(TranslatorParseError):
+            parse_source("int main() { return 0; }")
+
+    def test_malformed_arguments_rejected(self):
+        with pytest.raises(TranslatorParseError):
+            parse_source('op_par_loop(k, "k", s, op_arg_dat(p, -1, OP_ID, 4, "double"));')
+        with pytest.raises(TranslatorParseError):
+            parse_source('op_par_loop(k, "k", s, something_else(p));')
+
+    def test_arg_descriptor_validation(self):
+        with pytest.raises(TranslatorError):
+            ArgDescriptor(dat="d", index=0, map_name="m", dim=1, type_name="double",
+                          access="OP_BOGUS")
+        with pytest.raises(TranslatorError):
+            LoopSite(kernel="k", name="k", iteration_set="s", args=[])
+
+
+class TestDependenceAnalysis:
+    def test_airfoil_dependences(self):
+        program = parse_source(AIRFOIL_SOURCE)
+        graph = analyse_dependences(program)
+        names = [loop.name for loop in program.loops]
+
+        def edge(producer, consumer, kind=None):
+            return any(
+                names[e.producer] == producer and names[e.consumer] == consumer
+                and (kind is None or e.kind == kind)
+                for e in graph.edges
+            )
+
+        assert edge("save_soln", "update", "raw")     # p_qold produced then read
+        assert edge("adt_calc", "res_calc", "raw")    # p_adt produced then read
+        assert edge("res_calc", "update", "raw")      # p_res accumulated then read
+        assert not edge("save_soln", "adt_calc")      # independent -> interleavable
+        assert (names.index("save_soln"), names.index("adt_calc")) in graph.independent_pairs()
+        chain = graph.critical_chain()
+        assert len(chain) >= 3
+
+    def test_inc_on_inc_produces_no_edge(self):
+        source = """
+        op_par_loop(a, "a", edges, op_arg_dat(p_res, 0, pecell, 4, "double", OP_INC));
+        op_par_loop(b, "b", bedges, op_arg_dat(p_res, 0, pbecell, 4, "double", OP_INC));
+        """
+        graph = analyse_dependences(parse_source(source))
+        assert graph.edges == []
+
+    def test_war_edge(self):
+        source = """
+        op_par_loop(reader, "reader", cells, op_arg_dat(p_q, -1, OP_ID, 4, "double", OP_READ),
+                                             op_arg_dat(p_o, -1, OP_ID, 4, "double", OP_WRITE));
+        op_par_loop(writer, "writer", cells, op_arg_dat(p_q, -1, OP_ID, 4, "double", OP_WRITE));
+        """
+        graph = analyse_dependences(parse_source(source))
+        assert any(e.kind == "war" and e.dat == "p_q" for e in graph.edges)
+
+
+class TestCodegen:
+    def test_generated_modules_compile(self):
+        program = parse_source(AIRFOIL_SOURCE)
+        for generate in (generate_openmp_module, generate_hpx_module):
+            source = generate(program)
+            compile(source, "generated.py", "exec")
+            assert "op_par_loop_save_soln" in source
+            assert "run_program" in source
+
+    def test_hpx_module_documents_dependences(self):
+        source = generate_hpx_module(parse_source(AIRFOIL_SOURCE))
+        assert "save_soln -> update" in source
+        assert "hpx_context" in source
+
+    def test_openmp_module_uses_openmp_backend(self):
+        source = generate_openmp_module(parse_source(AIRFOIL_SOURCE))
+        assert "openmp_context" in source
+        assert "hpx_context" not in source
+
+    def test_wrapper_name_and_identifier_validation(self):
+        program = parse_source(AIRFOIL_SOURCE)
+        assert wrapper_name(program.loops[0]) == "op_par_loop_save_soln"
+        with pytest.raises(TranslatorCodegenError):
+            validate_identifier("not an identifier!")
+
+    def test_generated_hpx_module_executes_jacobi(self):
+        from repro.apps.jacobi import RES_KERNEL, UPDATE_KERNEL, build_ring_problem
+
+        source_text = """
+        op_par_loop(res, "res", edges,
+            op_arg_dat(p_A, -1, OP_ID, 1, "double", OP_READ),
+            op_arg_dat(p_u, 0, ppedge, 1, "double", OP_READ),
+            op_arg_dat(p_du, 1, ppedge, 1, "double", OP_INC));
+        op_par_loop(jac_update, "jac_update", nodes,
+            op_arg_dat(p_r, -1, OP_ID, 1, "double", OP_READ),
+            op_arg_dat(p_du, -1, OP_ID, 1, "double", OP_RW),
+            op_arg_dat(p_u, -1, OP_ID, 1, "double", OP_RW),
+            op_arg_gbl(&u_sum, 1, "double", OP_INC),
+            op_arg_gbl(&u_max, 1, "double", OP_MAX));
+        """
+        result = op2_translate(source_text, source_name="jac.cpp")
+        module = types.ModuleType("generated_jac")
+        exec(compile(result.module_for("hpx"), "generated_jac.py", "exec"), module.__dict__)
+
+        problem = build_ring_problem(200, seed=1)
+        u_sum, u_max = np.zeros(1), np.full(1, -np.inf)
+        futures, report = module.run_program(
+            kernels={"res": RES_KERNEL, "jac_update": UPDATE_KERNEL},
+            sets={"edges": problem.edges, "nodes": problem.nodes},
+            dats={"p_A": problem.p_A, "p_u": problem.p_u, "p_du": problem.p_du,
+                  "p_r": problem.p_r, "u_sum": u_sum, "u_max": u_max},
+            maps={"ppedge": problem.ppedge},
+            num_threads=4,
+        )
+        assert report.loops_executed == 2
+        assert u_sum[0] > 0
+        assert set(futures) == {"res", "jac_update"}
+
+
+class TestDriver:
+    def test_translate_writes_files(self, tmp_path):
+        result = op2_translate(AIRFOIL_SOURCE, output_dir=tmp_path, source_name="airfoil.cpp")
+        assert len(result.written_files) == 2
+        names = {path.name for path in result.written_files}
+        assert names == {"op2_program_omp_kernels.py", "op2_program_hpx_kernels.py"}
+        for path in result.written_files:
+            compile(path.read_text(), str(path), "exec")
+
+    def test_translate_from_file(self, tmp_path):
+        source_file = tmp_path / "app.cpp"
+        source_file.write_text(AIRFOIL_SOURCE)
+        result = op2_translate(source_file, output_dir=tmp_path)
+        assert {path.name for path in result.written_files} == {
+            "app_omp_kernels.py", "app_hpx_kernels.py"}
+        assert result.program.source_name == "app.cpp"
+
+    def test_unknown_flavour_rejected(self):
+        with pytest.raises(TranslatorError):
+            op2_translate(AIRFOIL_SOURCE, flavours=("cuda",))
+        result = op2_translate(AIRFOIL_SOURCE, flavours=("hpx",))
+        with pytest.raises(TranslatorError):
+            result.module_for("openmp")
