@@ -35,6 +35,7 @@ __all__ = [
     "ExperimentResult",
     "run_airfoil_experiment",
     "run_thread_sweep",
+    "run_wallclock_comparison",
 ]
 
 #: default thread counts of the paper's figures (HT enabled after 16)
@@ -74,18 +75,23 @@ class ExperimentConfig:
     prefetch_distance_factor: int = DEFAULTS.prefetch_distance_factor
     interleave: bool = True
     machine_preset: str = "paper-testbed"
+    execution: str = "simulate"  # "simulate" or "threads" (real worker pool)
     workload: AirfoilWorkload = field(default_factory=AirfoilWorkload)
 
     def label(self) -> str:
         """Series label used in reports."""
         if self.backend == "openmp":
-            return "#pragma omp parallel for"
-        parts = ["dataflow"]
-        if self.chunking == "persistent_auto":
-            parts.append("persistent_auto_chunk_size")
-        if self.prefetch:
-            parts.append(f"prefetch(d={self.prefetch_distance_factor})")
-        return " + ".join(parts)
+            label = "#pragma omp parallel for"
+        else:
+            parts = ["dataflow"]
+            if self.chunking == "persistent_auto":
+                parts.append("persistent_auto_chunk_size")
+            if self.prefetch:
+                parts.append(f"prefetch(d={self.prefetch_distance_factor})")
+            label = " + ".join(parts)
+        if self.execution == "threads":
+            label += " [threads]"
+        return label
 
 
 @dataclass
@@ -106,6 +112,11 @@ class ExperimentResult:
     def bandwidth_gbs(self) -> float:
         """Simulated achieved bandwidth of the run."""
         return self.report.achieved_bandwidth_gbs
+
+    @property
+    def wall_seconds(self) -> float:
+        """Measured wall-clock time of the run's numerical execution."""
+        return self.report.wall_seconds
 
 
 def _reference_q(workload: AirfoilWorkload) -> tuple[np.ndarray, float]:
@@ -128,7 +139,11 @@ _reference_cache: dict[tuple, tuple[np.ndarray, float]] = {}
 def _make_context(config: ExperimentConfig):
     machine = Machine(config.machine_preset)
     if config.backend == "openmp":
-        return openmp_context(machine=machine, num_threads=config.num_threads)
+        return openmp_context(
+            machine=machine,
+            num_threads=config.num_threads,
+            execution=config.execution,
+        )
     if config.backend == "hpx":
         return hpx_context(
             machine=machine,
@@ -137,6 +152,7 @@ def _make_context(config: ExperimentConfig):
             prefetch=config.prefetch,
             prefetch_distance_factor=config.prefetch_distance_factor,
             interleave=config.interleave,
+            execution=config.execution,
         )
     raise BenchmarkError(f"unknown benchmark backend {config.backend!r}")
 
@@ -161,6 +177,28 @@ def run_airfoil_experiment(config: ExperimentConfig, *, check_correctness: bool 
         rms=app_result.final_rms,
         numerically_correct=correct,
     )
+
+
+def run_wallclock_comparison(
+    base_config: ExperimentConfig, *, check_correctness: bool = True
+) -> dict[str, dict[str, float]]:
+    """Run ``base_config`` in both execution modes; report makespan *and* wall time.
+
+    Returns ``{"simulate": {...}, "threads": {...}}`` where each entry carries
+    the simulated makespan, the measured wall-clock seconds, and whether the
+    run matched the serial reference -- the Fig. 15/16-style sanity check that
+    the modelled dataflow overlap corresponds to a real, correct execution.
+    """
+    comparison: dict[str, dict[str, float]] = {}
+    for execution in ("simulate", "threads"):
+        config = replace(base_config, execution=execution)
+        result = run_airfoil_experiment(config, check_correctness=check_correctness)
+        comparison[execution] = {
+            "makespan_seconds": result.runtime_seconds,
+            "wall_seconds": result.wall_seconds,
+            "numerically_correct": float(result.numerically_correct),
+        }
+    return comparison
 
 
 def run_thread_sweep(

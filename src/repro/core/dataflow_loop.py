@@ -3,8 +3,11 @@
 :class:`DataflowLoopRunner` is the piece of the HPX backend that handles one
 loop invocation:
 
-1. execute the loop numerically (NumPy block execution -- results are
-   bit-identical to the serial backend),
+1. execute the loop numerically -- either eagerly (NumPy block execution,
+   results bit-identical to the serial backend) or, when a
+   :class:`~repro.runtime.pool_executor.PoolExecutor` is attached, *deferred*:
+   every chunk becomes a real pool task gated on the same dependency edges
+   the simulator uses, so dependent loops genuinely interleave on OS threads,
 2. split the iteration range into chunks according to the active chunk-size
    policy (``auto`` or ``persistent_auto``),
 3. add one task per chunk to the simulated task graph, with chunk-granular
@@ -14,12 +17,28 @@ loop invocation:
 4. return a shared future of the loop's output dat, which the application
    can feed into later ``op_arg_dat`` calls exactly as in Fig. 9/10
    (``p_qold = op_par_loop_save_soln(...)``).
+
+Deferred chunk execution
+------------------------
+In pool mode each chunk is split into two pool tasks:
+
+* a **compute** task (gated on the chunk's DAG dependencies) that gathers
+  its inputs and runs the kernel into private buffers
+  (:meth:`~repro.op2.par_loop.ParLoop.prepare_block`), and
+* a **merge** task (gated on the compute task *and* the previous chunk's
+  merge) that commits scatters and global reductions.
+
+Chaining the merges keeps floating-point accumulation in ascending chunk
+order, so pool results are bit-identical to sequential chunked execution --
+while compute tasks of many chunks (and many loops) overlap freely.  The
+future returned for the loop is a :class:`~repro.runtime.future.HandleFuture`
+completed by a finalizer task after the last merge.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
+from typing import Callable, Optional
 
 from repro.core.interleaving import DependencyTracker
 from repro.core.optimizer import OptimizationConfig
@@ -27,7 +46,8 @@ from repro.core.persistent_chunking import ChunkPlanner
 from repro.core.prefetch_integration import build_prefetch_spec
 from repro.op2.dat import OpDat
 from repro.op2.par_loop import ParLoop
-from repro.runtime.future import SharedFuture, make_ready_future
+from repro.runtime.future import HandleFuture, Promise, SharedFuture, make_ready_future
+from repro.runtime.pool_executor import PoolExecutor
 from repro.sim.cost import KernelCostModel, PrefetchSpec
 from repro.sim.scheduler_sim import TaskGraph
 
@@ -63,6 +83,7 @@ class DataflowLoopRunner:
         planner: ChunkPlanner,
         config: OptimizationConfig,
         prefer_vectorized: bool = True,
+        executor: Optional[PoolExecutor] = None,
     ) -> None:
         self.cost_model = cost_model
         self.task_graph = task_graph
@@ -70,7 +91,11 @@ class DataflowLoopRunner:
         self.planner = planner
         self.config = config
         self.prefer_vectorized = prefer_vectorized
+        #: pool the chunks run on; ``None`` means eager (simulate-only) mode
+        self.executor = executor
         self.records: list[LoopRecord] = []
+        #: simulated task id -> (compute pool id, merge pool id), pool mode only
+        self.pool_chunk_ids: dict[int, tuple[int, int]] = {}
         self._prefetch_spec: Optional[PrefetchSpec] = (
             build_prefetch_spec(True, config.prefetch_distance_factor)
             if config.prefetching
@@ -80,8 +105,11 @@ class DataflowLoopRunner:
     # -- main entry point -----------------------------------------------------------
     def run(self, loop: ParLoop, phase: int) -> SharedFuture[OpDat]:
         """Execute ``loop`` and register its chunk tasks; return the output future."""
-        # 1. Numerical execution (sequential under the hood, identical results).
-        loop.execute_all(prefer_vectorized=self.prefer_vectorized)
+        deferred = self.executor is not None
+        # 1. Numerical execution: eager in simulate mode (sequential under the
+        #    hood, identical results); deferred onto the pool otherwise.
+        if not deferred:
+            loop.execute_all(prefer_vectorized=self.prefer_vectorized)
 
         # 2. Chunking according to the active policy.
         profile = loop.kernel_profile()
@@ -89,11 +117,13 @@ class DataflowLoopRunner:
             loop, profile=profile, prefetch=self._prefetch_spec
         )
 
-        # 3. One simulated task per chunk, with chunk-granular dependencies.
+        # 3. One simulated task per chunk, with chunk-granular dependencies
+        #    (and, in pool mode, the matching real tasks).
         task_ids: list[int] = []
         dependency_count = 0
         start = 0
         total = max(loop.iterset.size, 1)
+        last_merge_id: Optional[int] = None
         for chunk_index, size in enumerate(chunk_sizes):
             stop = start + size
             deps = self.tracker.chunk_dependencies(loop, start, stop, loop_seq=phase)
@@ -115,6 +145,10 @@ class DataflowLoopRunner:
                 deps=deps,
             )
             self.tracker.record_chunk(loop, phase, start, stop, task_id)
+            if deferred:
+                last_merge_id = self._submit_chunk(
+                    loop, start, stop, task_id, deps, last_merge_id
+                )
             task_ids.append(task_id)
             start = stop
 
@@ -129,9 +163,61 @@ class DataflowLoopRunner:
             )
         )
 
-        # 4. The loop's result, as a (ready) shared future of its output dat.
+        # 4. The loop's result as a shared future of its output dat: ready
+        #    immediately in eager mode, completed by the last merge otherwise.
         output = loop.output_dat()
+        if deferred:
+            loop._mark_outputs_modified()
+            return self._deferred_future(output, last_merge_id)
         return make_ready_future(output).share()
+
+    # -- pool submission ----------------------------------------------------------------
+    def _submit_chunk(
+        self,
+        loop: ParLoop,
+        start: int,
+        stop: int,
+        sim_id: int,
+        sim_deps: list[int],
+        last_merge_id: Optional[int],
+    ) -> int:
+        """Submit one chunk as a compute task plus a chained merge task."""
+        executor = self.executor
+        assert executor is not None
+        # Dependents must observe a producer chunk's *committed* effects, so
+        # DAG edges target the producer's merge task.
+        pool_deps = [
+            self.pool_chunk_ids[dep][1] for dep in sim_deps if dep in self.pool_chunk_ids
+        ]
+        prefer_vectorized = self.prefer_vectorized
+
+        def prepare() -> Callable[[], None]:
+            return loop.prepare_block(start, stop, prefer_vectorized=prefer_vectorized)
+
+        compute_id, merge_id = executor.submit_chunk(
+            prepare, deps=pool_deps, after=last_merge_id
+        )
+        self.pool_chunk_ids[sim_id] = (compute_id, merge_id)
+        return merge_id
+
+    def _deferred_future(
+        self, output: Optional[OpDat], last_merge_id: Optional[int]
+    ) -> SharedFuture[OpDat]:
+        promise: Promise[OpDat] = Promise()
+        future = HandleFuture.from_promise(output, promise)  # type: ignore[arg-type]
+        if last_merge_id is None:  # empty iteration set: nothing to wait for
+            promise.set_value(output)  # type: ignore[arg-type]
+            return future
+        assert self.executor is not None
+        # If the pool is poisoned before the finalizer runs, break the
+        # promise instead: consumers blocked in get()/wait() must wake with
+        # an error, not hang forever.
+        self.executor.submit(
+            lambda: promise.set_value(output),  # type: ignore[arg-type]
+            deps=[last_merge_id],
+            on_skip=promise.break_promise,
+        )
+        return future
 
     # -- statistics --------------------------------------------------------------------
     def total_chunks(self) -> int:

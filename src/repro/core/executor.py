@@ -7,7 +7,7 @@
     with active_context(hpx_context(num_threads=32,
                                     chunking="persistent_auto",
                                     prefetch=True)) as ctx:
-        airfoil.run(mesh, iterations=20)
+        airfoil.run(...)          # op_par_loop calls dispatch to ctx
     report = ctx.report()
 
 every ``op_par_loop`` call
@@ -21,10 +21,23 @@ every ``op_par_loop`` call
 ``ctx.report()`` then simulates that DAG on the machine model in DATAFLOW
 mode (no global barriers), yielding the makespan/bandwidth numbers the
 benchmark harness compares against the OpenMP-style baseline.
+
+Execution modes
+---------------
+``execution="simulate"`` (default) runs every loop eagerly and only *models*
+the chunk DAG.  ``execution="threads"`` runs it: chunks become real tasks on
+a :class:`~repro.runtime.pool_executor.PoolExecutor` of ``num_threads`` OS
+workers, gated by the same dependency edges, with merges committed in
+deterministic chunk order so results stay bit-identical to the serial
+backend (global reductions are synchronisation points: their loop completes
+before ``op_par_loop`` returns, since applications read the reduction target
+right after the call).  The report then carries the measured wall-clock time
+next to the simulated makespan.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Any, Optional, Union
 
 from repro.config import DEFAULTS
@@ -32,11 +45,18 @@ from repro.core.dataflow_loop import DataflowLoopRunner, LoopRecord
 from repro.core.interleaving import DependencyTracker
 from repro.core.optimizer import OptimizationConfig
 from repro.core.persistent_chunking import ChunkPlanner
-from repro.op2.context import BackendReport, ExecutionContext, register_backend
+from repro.errors import OP2BackendError
+from repro.op2.context import (
+    EXECUTION_MODES,
+    BackendReport,
+    ExecutionContext,
+    register_backend,
+)
 from repro.op2.dat import OpDat
 from repro.op2.par_loop import ParLoop
 from repro.runtime.chunking import ChunkSizePolicy
 from repro.runtime.future import SharedFuture
+from repro.runtime.pool_executor import PoolExecutor
 from repro.sim.cost import KernelCostModel
 from repro.sim.machine import Machine
 from repro.sim.scheduler_sim import ScheduleMode, TaskGraph, simulate_schedule
@@ -61,14 +81,20 @@ class HPXContext(ExecutionContext):
         async_tasking: bool = True,
         config: Optional[OptimizationConfig] = None,
         prefer_vectorized: bool = True,
+        execution: str = "simulate",
     ) -> None:
         super().__init__()
+        if execution not in EXECUTION_MODES:
+            raise OP2BackendError(
+                f"unknown execution mode {execution!r}; choose from {EXECUTION_MODES}"
+            )
         if machine is None:
             machine = Machine(DEFAULTS.machine_preset)
         elif isinstance(machine, str):
             machine = Machine(machine)
         self.machine = machine
         self.num_threads = num_threads
+        self.execution = execution
 
         if config is None:
             persistent = (
@@ -90,7 +116,14 @@ class HPXContext(ExecutionContext):
 
         self.cost_model = KernelCostModel(machine)
         self.task_graph = TaskGraph()
-        self.tracker = DependencyTracker(chunk_granularity=self.config.interleaving)
+        # In threads mode the tracker adds the strict-commit edges a real
+        # pool needs (program-order increment accumulation, reader ordering
+        # against displaced writer layers) -- the price of deterministic,
+        # serial-matching results.
+        self.tracker = DependencyTracker(
+            chunk_granularity=self.config.interleaving,
+            strict_commit_order=(execution == "threads"),
+        )
         self.planner = ChunkPlanner(self.cost_model, num_threads, policy=chunking)
         self.runner = DataflowLoopRunner(
             cost_model=self.cost_model,
@@ -101,16 +134,49 @@ class HPXContext(ExecutionContext):
             prefer_vectorized=prefer_vectorized,
         )
         self.loop_futures: dict[str, SharedFuture[OpDat]] = {}
+        self.wall_seconds = 0.0
+        self._executor: Optional[PoolExecutor] = None
+        self._wall_start: Optional[float] = None
         self._schedule = None
 
     # -- loop execution ----------------------------------------------------------------
     def execute(self, loop: ParLoop) -> SharedFuture[OpDat]:
-        """Execute one loop; returns a shared future of its output dat."""
+        """Execute (or schedule) one loop; returns a shared future of its output dat."""
+        if self._wall_start is None:
+            self._wall_start = time.perf_counter()
+        threaded = self.execution == "threads"
+        if threaded:
+            self.runner.executor = self._ensure_executor()
+            if loop.has_global_reduction:
+                # Globals are invisible to the dependency tracker, so a loop
+                # writing one is a synchronisation point both ways: earlier
+                # loops may still be *reading* the same global (no WAR edges
+                # exist for globals), and the application reads the reduction
+                # target right after op_par_loop returns.
+                self._executor.wait_all()
         future = self.runner.run(loop, phase=self.loop_count)
         self.loop_futures[f"{loop.name}@{self.loop_count}"] = future
         self.loop_count += 1
         self._schedule = None
+        if threaded and loop.has_global_reduction:
+            self._executor.wait_all()
         return future
+
+    def _ensure_executor(self) -> PoolExecutor:
+        if self._executor is None or self._executor.is_shutdown:
+            if self._executor is not None:
+                # Fresh pool after finish(): earlier chunks all completed, so
+                # edges to them are already satisfied -- drop the stale ids.
+                self.runner.pool_chunk_ids.clear()
+            self._executor = PoolExecutor(
+                self.num_threads, name="hpx-chunk-pool", trace=True
+            )
+        return self._executor
+
+    @property
+    def executor(self) -> Optional[PoolExecutor]:
+        """The chunk pool of the current threaded run (``None`` in simulate mode)."""
+        return self._executor
 
     # -- reporting ------------------------------------------------------------------------
     @property
@@ -118,8 +184,23 @@ class HPXContext(ExecutionContext):
         """Per-loop chunking/dependency records."""
         return self.runner.records
 
+    def abort(self) -> None:
+        """Cancel unstarted chunk tasks and stop the pool (threads mode)."""
+        if self._executor is not None and not self._executor.is_shutdown:
+            self._executor.shutdown(wait=False)
+            self.runner.executor = None
+        if self._wall_start is not None:
+            self.wall_seconds += time.perf_counter() - self._wall_start
+            self._wall_start = None
+
     def finish(self) -> None:
-        """Simulate the accumulated dependency DAG on the machine model."""
+        """Drain the pool (threads mode) and simulate the accumulated DAG."""
+        if self._executor is not None and not self._executor.is_shutdown:
+            self._executor.shutdown(wait=True)
+            self.runner.executor = None
+        if self._wall_start is not None:
+            self.wall_seconds += time.perf_counter() - self._wall_start
+            self._wall_start = None
         if len(self.task_graph) == 0:
             return
         mode = ScheduleMode.DATAFLOW if self.config.async_tasking else ScheduleMode.BARRIER
@@ -136,8 +217,10 @@ class HPXContext(ExecutionContext):
             num_threads=self.num_threads,
             loops_executed=self.loop_count,
             schedule=self._schedule,
+            wall_seconds=self.wall_seconds,
             details={
                 "config": self.config.describe(),
+                "execution": self.execution,
                 "chunking": "persistent_auto" if self.planner.is_persistent else "auto",
                 "total_chunks": self.runner.total_chunks(),
                 "total_dependencies": self.runner.total_dependencies(),

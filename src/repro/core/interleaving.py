@@ -38,6 +38,8 @@ class AccessInterval:
     task_id: int
     lo: int
     hi: int
+    #: program-order sequence of the loop the chunk belongs to (-1 when unknown)
+    loop_seq: int = -1
 
     def overlaps(self, lo: int, hi: int) -> bool:
         """True if ``[lo, hi]`` intersects this interval."""
@@ -57,7 +59,16 @@ def _interval_for_arg(arg: OpArg, start: int, stop: int) -> tuple[int, int]:
 
 @dataclass
 class _DatHistory:
-    """Per-dat record of the last writer layer and readers since then."""
+    """Per-dat record of the last writer layer and readers since then.
+
+    ``prev_writers`` / ``prev_readers`` hold the layer the current one
+    displaced.  They are what chunks of the *current* layer are ordered
+    against: a chunk of a new writing loop starts before its fellow chunks
+    have covered the dat, so its true producers (RAW/WAW) and the readers it
+    must not overtake (WAR) live in the displaced layer.  Without them the
+    dependency DAG permits reorderings that a real threaded execution turns
+    into wrong answers -- eager execution masked this.
+    """
 
     #: sequence number of the loop that started the current writer layer
     writer_loop_seq: int = -1
@@ -65,6 +76,8 @@ class _DatHistory:
     accumulating: bool = False
     writers: list[AccessInterval] = field(default_factory=list)
     readers: list[AccessInterval] = field(default_factory=list)
+    prev_writers: list[AccessInterval] = field(default_factory=list)
+    prev_readers: list[AccessInterval] = field(default_factory=list)
 
 
 class DependencyTracker:
@@ -77,10 +90,23 @@ class DependencyTracker:
         based; when ``False`` a consumer chunk depends on *every* recorded
         writer/reader chunk of the dats it touches (loop-granular edges --
         the ablation baseline).
+    strict_commit_order:
+        Extra edges the *threaded* engine needs because chunk effects really
+        commit asynchronously: (a) increment chunks depend on overlapping
+        increment chunks of *earlier loops* in the same accumulation layer
+        (same-loop increments still commute freely), keeping floating-point
+        accumulation in program order; (b) pure readers depend on overlapping
+        writers of the displaced layer, covering ranges the current layer has
+        not (yet) written.  The simulator leaves both off: increments commute
+        mathematically, and successive writer layers cover the dats they
+        rewrite, so the modelled makespans keep the paper's relaxed DAG.
     """
 
-    def __init__(self, *, chunk_granularity: bool = True) -> None:
+    def __init__(
+        self, *, chunk_granularity: bool = True, strict_commit_order: bool = False
+    ) -> None:
         self.chunk_granularity = chunk_granularity
+        self.strict_commit_order = strict_commit_order
         self._history: dict[int, _DatHistory] = {}
 
     def _history_for(self, dat_id: int) -> _DatHistory:
@@ -94,7 +120,11 @@ class DependencyTracker:
 
         Standard RAW/WAR/WAW handling on conservative intervals, except that
         increment chunks never depend on the other chunks of the same
-        accumulation layer (increments commute).
+        accumulation layer (increments commute).  Every chunk is additionally
+        ordered against the overlapping records of the layer its own layer
+        displaced (``prev_writers`` / ``prev_readers``): those are the true
+        producers of the values it observes and the readers it must not
+        overtake while the current layer is still being laid down.
         """
         deps: set[int] = set()
         for arg in loop.args:
@@ -110,19 +140,49 @@ class DependencyTracker:
                 # (and for readers, WAR), but not for fellow increments.
                 if not history.accumulating:
                     deps.update(self._matching(history.writers, lo, hi))
+                else:
+                    if self.strict_commit_order:
+                        # Threaded determinism: order this chunk after increment
+                        # chunks contributed by *earlier* loops of the layer.
+                        deps.update(
+                            record.task_id
+                            for record in self._matching_records(history.writers, lo, hi)
+                            if record.loop_seq != loop_seq
+                        )
+                    # Joining an existing accumulation layer: the non-INC
+                    # writer it displaced is this chunk's true producer.
+                    deps.update(self._matching(history.prev_writers, lo, hi))
+                    deps.update(self._matching(history.prev_readers, lo, hi))
                 deps.update(self._matching(history.readers, lo, hi))
                 continue
             if arg.access.reads or arg.access.writes:
                 if not (same_layer and arg.access.writes and not arg.access.reads):
                     deps.update(self._matching(history.writers, lo, hi))
+                if self.strict_commit_order and not arg.access.writes:
+                    # Pure readers also stay ordered against the displaced
+                    # layer: the current layer may not (yet) cover this range,
+                    # in which case the true producer is a prev-layer writer.
+                    deps.update(self._matching(history.prev_writers, lo, hi))
             if arg.access.writes:
                 deps.update(self._matching(history.readers, lo, hi))
+                if same_layer:
+                    # Later chunks of the loop that displaced the layer: their
+                    # producers (RAW/WAW) and the readers they must not
+                    # overtake (WAR) live in the displaced layer, which
+                    # ``history.writers``/``readers`` no longer contain.
+                    deps.update(self._matching(history.prev_writers, lo, hi))
+                    deps.update(self._matching(history.prev_readers, lo, hi))
         return sorted(deps)
 
     def _matching(self, intervals: Sequence[AccessInterval], lo: int, hi: int) -> list[int]:
+        return [record.task_id for record in self._matching_records(intervals, lo, hi)]
+
+    def _matching_records(
+        self, intervals: Sequence[AccessInterval], lo: int, hi: int
+    ) -> list[AccessInterval]:
         if self.chunk_granularity:
-            return [record.task_id for record in intervals if record.overlaps(lo, hi)]
-        return [record.task_id for record in intervals]
+            return [record for record in intervals if record.overlaps(lo, hi)]
+        return list(intervals)
 
     # -- recording a scheduled chunk -------------------------------------------------
     def record_chunk(
@@ -132,9 +192,11 @@ class DependencyTracker:
 
         ``loop_seq`` is the loop's position in program order.  The first
         chunk of a new *non-increment* writing loop starts a fresh writer
-        layer for each dat it writes (the previous layer's ordering
-        constraints survive transitively through already-recorded edges);
-        increment chunks extend the current accumulation layer instead.
+        layer for each dat it writes; the displaced layer is retained as
+        ``prev_writers`` / ``prev_readers`` so later chunks of the new layer
+        stay ordered against it (older layers' constraints survive
+        transitively through already-recorded edges).  Increment chunks
+        extend the current accumulation layer instead.
 
         Must be called *after* :meth:`chunk_dependencies` for the same chunk.
         """
@@ -144,11 +206,13 @@ class DependencyTracker:
             assert arg.dat is not None
             history = self._history_for(arg.dat.dat_id)
             lo, hi = _interval_for_arg(arg, start, stop)
-            record = AccessInterval(task_id=task_id, lo=lo, hi=hi)
+            record = AccessInterval(task_id=task_id, lo=lo, hi=hi, loop_seq=loop_seq)
             if arg.access is AccessMode.INC:
                 if not history.accumulating:
                     # Begin a new accumulation layer on top of whatever was
                     # there before.
+                    history.prev_writers = history.writers
+                    history.prev_readers = history.readers
                     history.writers = []
                     history.readers = []
                     history.accumulating = True
@@ -156,6 +220,8 @@ class DependencyTracker:
                 history.writers.append(record)
             elif arg.access.writes:
                 if history.writer_loop_seq != loop_seq or history.accumulating:
+                    history.prev_writers = history.writers
+                    history.prev_readers = history.readers
                     history.writers = []
                     history.readers = []
                     history.accumulating = False

@@ -118,12 +118,17 @@ def op_arg_dat(
         One of ``OP_READ`` / ``OP_WRITE`` / ``OP_RW`` / ``OP_INC``.
 
     ``dat`` may also be a future/shared future of an :class:`OpDat` -- exactly
-    what the HPX backend's ``op_par_loop`` returns (Fig. 9 of the paper) -- in
-    which case its value is awaited here, so application code can chain loops
-    through futures without touching the raw dat.
+    what the HPX backend's ``op_par_loop`` returns (Fig. 9 of the paper).  A
+    :class:`~repro.runtime.future.HandleFuture` exposes the dat's identity
+    eagerly, so the argument is built *without blocking* (the dependency DAG
+    orders the actual data accesses); any other future is awaited here.
     """
     if hasattr(dat, "get") and hasattr(dat, "is_ready") and not isinstance(dat, OpDat):
-        dat = dat.get()  # a Future/SharedFuture of an OpDat
+        handle = getattr(dat, "handle", None)
+        if isinstance(handle, OpDat):
+            dat = handle  # declared against the handle; the DAG orders the data
+        else:
+            dat = dat.get()  # a plain Future/SharedFuture of an OpDat
     if not isinstance(dat, OpDat):
         raise OP2AccessError(f"op_arg_dat needs an OpDat, got {dat!r}")
     if not isinstance(access, AccessMode):

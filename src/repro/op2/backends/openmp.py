@@ -17,12 +17,20 @@ OpenMP design.
 
 from __future__ import annotations
 
-from typing import Any, Optional, Union
+import time
+from typing import Any, Optional, Sequence, Union
 
 from repro.config import DEFAULTS
-from repro.op2.context import BackendReport, ExecutionContext, register_backend
+from repro.errors import OP2BackendError
+from repro.op2.context import (
+    EXECUTION_MODES,
+    BackendReport,
+    ExecutionContext,
+    register_backend,
+)
 from repro.op2.par_loop import ParLoop
-from repro.op2.plan import op_plan_get
+from repro.op2.plan import ExecutionPlan, op_plan_get
+from repro.runtime.pool_executor import PoolExecutor
 from repro.sim.cost import KernelCostModel
 from repro.sim.machine import Machine
 from repro.sim.scheduler_sim import OmpSchedule, ScheduleMode, TaskGraph, simulate_schedule
@@ -31,7 +39,14 @@ __all__ = ["OpenMPContext", "openmp_context"]
 
 
 class OpenMPContext(ExecutionContext):
-    """Fork/join execution with a global barrier after every loop."""
+    """Fork/join execution with a global barrier after every loop.
+
+    With ``execution="threads"`` each colour's blocks really run on a worker
+    pool -- one fork/join phase per colour with a pool barrier in between,
+    exactly the structure of the generated OpenMP code -- with per-block
+    private buffers merged in block order so results match the sequential
+    colour-by-colour execution bit for bit.
+    """
 
     backend_name = "openmp"
 
@@ -43,8 +58,13 @@ class OpenMPContext(ExecutionContext):
         block_size: int = 256,
         omp_schedule: Union[OmpSchedule, str] = OmpSchedule.STATIC,
         prefer_vectorized: bool = True,
+        execution: str = "simulate",
     ) -> None:
         super().__init__()
+        if execution not in EXECUTION_MODES:
+            raise OP2BackendError(
+                f"unknown execution mode {execution!r}; choose from {EXECUTION_MODES}"
+            )
         if machine is None:
             machine = Machine(DEFAULTS.machine_preset)
         elif isinstance(machine, str):
@@ -56,9 +76,13 @@ class OpenMPContext(ExecutionContext):
             OmpSchedule(omp_schedule) if isinstance(omp_schedule, str) else omp_schedule
         )
         self.prefer_vectorized = prefer_vectorized
+        self.execution = execution
         self.cost_model = KernelCostModel(machine)
         self.task_graph = TaskGraph()
         self.executed_loops: list[str] = []
+        self.wall_seconds = 0.0
+        self._executor: Optional[PoolExecutor] = None
+        self._wall_start: Optional[float] = None
         self._schedule = None
         self._next_phase = 0
 
@@ -71,6 +95,8 @@ class OpenMPContext(ExecutionContext):
         ``#pragma omp parallel for`` over the blocks of each colour, with an
         implicit barrier between colours and after the loop.
         """
+        if self._wall_start is None:
+            self._wall_start = time.perf_counter()
         plan = op_plan_get(loop.name, loop.iterset, self.block_size, loop.args)
         profile = loop.kernel_profile()
         total = max(loop.iterset.size, 1)
@@ -81,10 +107,15 @@ class OpenMPContext(ExecutionContext):
             color_blocks = [plan.blocks_of_color(c) for c in range(plan.ncolors)]
         else:
             color_blocks = [list(range(plan.nblocks))]
-        for blocks in color_blocks:
-            for block in blocks:
-                start, stop = plan.block_range(int(block))
-                loop.execute_block(start, stop, prefer_vectorized=self.prefer_vectorized)
+        if self.execution == "threads":
+            self._execute_colors_pooled(loop, plan, color_blocks)
+        else:
+            for blocks in color_blocks:
+                for block in blocks:
+                    start, stop = plan.block_range(int(block))
+                    loop.execute_block(
+                        start, stop, prefer_vectorized=self.prefer_vectorized
+                    )
         loop._mark_outputs_modified()
 
         # Timing: one task per block; every colour is its own fork/join phase.
@@ -113,9 +144,54 @@ class OpenMPContext(ExecutionContext):
         self._schedule = None  # invalidate any previous simulation
         return None
 
+    # -- pooled fork/join execution -------------------------------------------------
+    def _execute_colors_pooled(
+        self, loop: ParLoop, plan: ExecutionPlan, color_blocks: Sequence[Sequence[int]]
+    ) -> None:
+        """Run each colour's blocks on the pool, with a barrier per colour.
+
+        Blocks of one colour never write the same indirect element, so their
+        compute parts run concurrently; each block's scatters/reductions are
+        committed by a merge task chained in block order, keeping results
+        identical to the sequential colour-by-colour execution.  The
+        ``wait_all`` after every colour is the implicit OpenMP barrier.
+        """
+        executor = self._ensure_executor()
+        prefer_vectorized = self.prefer_vectorized
+        for blocks in color_blocks:
+            last_merge_id: Optional[int] = None
+            for block in blocks:
+                start, stop = plan.block_range(int(block))
+
+                def prepare(start: int = start, stop: int = stop) -> Any:
+                    return loop.prepare_block(
+                        start, stop, prefer_vectorized=prefer_vectorized
+                    )
+
+                _, last_merge_id = executor.submit_chunk(prepare, after=last_merge_id)
+            executor.wait_all()  # the implicit barrier closing the parallel region
+
+    def _ensure_executor(self) -> PoolExecutor:
+        if self._executor is None or self._executor.is_shutdown:
+            self._executor = PoolExecutor(self.num_threads, name="omp-block-pool")
+        return self._executor
+
     # -- reporting --------------------------------------------------------------------
+    def abort(self) -> None:
+        """Cancel unstarted block tasks and stop the pool (threads mode)."""
+        if self._executor is not None and not self._executor.is_shutdown:
+            self._executor.shutdown(wait=False)
+        if self._wall_start is not None:
+            self.wall_seconds += time.perf_counter() - self._wall_start
+            self._wall_start = None
+
     def finish(self) -> None:
-        """Simulate the accumulated task graph in BARRIER mode."""
+        """Drain the pool (threads mode) and simulate the graph in BARRIER mode."""
+        if self._executor is not None and not self._executor.is_shutdown:
+            self._executor.shutdown(wait=True)
+        if self._wall_start is not None:
+            self.wall_seconds += time.perf_counter() - self._wall_start
+            self._wall_start = None
         if len(self.task_graph) == 0:
             return
         self._schedule = simulate_schedule(
@@ -135,9 +211,11 @@ class OpenMPContext(ExecutionContext):
             num_threads=self.num_threads,
             loops_executed=self.loop_count,
             schedule=self._schedule,
+            wall_seconds=self.wall_seconds,
             details={
                 "block_size": self.block_size,
                 "omp_schedule": self.omp_schedule.value,
+                "execution": self.execution,
                 "loops": list(self.executed_loops),
             },
         )

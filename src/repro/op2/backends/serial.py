@@ -8,6 +8,7 @@ context is active.
 
 from __future__ import annotations
 
+import time
 from typing import Any
 
 from repro.op2.context import BackendReport, ExecutionContext, register_backend
@@ -25,20 +26,24 @@ class SerialContext(ExecutionContext):
         super().__init__()
         self.prefer_vectorized = prefer_vectorized
         self.executed_loops: list[str] = []
+        self.wall_seconds = 0.0
 
     def execute(self, loop: ParLoop) -> Any:
         """Run the loop to completion; returns ``None``."""
+        started = time.perf_counter()
         loop.execute_all(prefer_vectorized=self.prefer_vectorized)
+        self.wall_seconds += time.perf_counter() - started
         self.loop_count += 1
         self.executed_loops.append(loop.name)
         return None
 
     def report(self) -> BackendReport:
-        """Report with loop count only (nothing is simulated)."""
+        """Report with loop count and wall time only (nothing is simulated)."""
         return BackendReport(
             backend=self.backend_name,
             num_threads=1,
             loops_executed=self.loop_count,
+            wall_seconds=self.wall_seconds,
             details={"loops": list(self.executed_loops)},
         )
 

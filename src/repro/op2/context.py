@@ -30,12 +30,16 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = [
     "BackendReport",
     "ExecutionContext",
+    "EXECUTION_MODES",
     "active_context",
     "get_active_context",
     "register_backend",
     "available_backends",
     "make_context",
 ]
+
+#: valid values of the backends' ``execution`` parameter
+EXECUTION_MODES = ("simulate", "threads")
 
 
 @dataclass
@@ -45,12 +49,16 @@ class BackendReport:
     ``schedule`` is ``None`` for the plain serial context (there is nothing to
     simulate); the OpenMP and HPX contexts attach the
     :class:`~repro.sim.scheduler_sim.ScheduleResult` of their run.
+    ``wall_seconds`` is the measured wall-clock time of the run's numerical
+    execution -- the real counterpart of the simulated makespan, and the
+    number to watch when a context runs with ``execution="threads"``.
     """
 
     backend: str
     num_threads: int
     loops_executed: int
     schedule: Optional["ScheduleResult"] = None
+    wall_seconds: float = 0.0
     details: dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -81,6 +89,14 @@ class ExecutionContext:
     def finish(self) -> None:
         """Complete any outstanding asynchronous work (default: nothing)."""
 
+    def abort(self) -> None:
+        """Abandon outstanding asynchronous work (default: nothing).
+
+        Called instead of :meth:`finish` when the ``with`` block raises, so
+        backends running real worker pools stop mutating data and release
+        their threads.
+        """
+
     def report(self) -> BackendReport:
         """Produce the run report; backends override to attach schedules."""
         return BackendReport(
@@ -96,6 +112,8 @@ class ExecutionContext:
         try:
             if exc_info[0] is None:
                 self.finish()
+            else:
+                self.abort()
         finally:
             _pop_context(self)
 

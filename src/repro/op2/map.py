@@ -25,7 +25,7 @@ _map_ids = itertools.count()
 class OpMap:
     """A mapping from ``from_set`` to ``to_set`` with ``dim`` targets per element."""
 
-    __slots__ = ("map_id", "from_set", "to_set", "dim", "values", "name")
+    __slots__ = ("map_id", "from_set", "to_set", "dim", "values", "name", "_version")
 
     def __init__(
         self,
@@ -39,30 +39,54 @@ class OpMap:
             raise OP2DeclarationError("op_map endpoints must be OpSet instances")
         if dim <= 0:
             raise OP2DeclarationError(f"map dimension must be positive, got {dim}")
-        array = np.asarray(values, dtype=np.int64)
-        expected = from_set.size * dim
-        if array.size != expected:
-            raise OP2MappingError(
-                f"map {name!r}: expected {expected} entries "
-                f"({from_set.size} elements x dim {dim}), got {array.size}"
-            )
-        array = array.reshape(from_set.size, dim)
-        if from_set.size and to_set.size == 0:
-            raise OP2MappingError(f"map {name!r}: target set {to_set.name!r} is empty")
-        if array.size:
-            lo, hi = int(array.min()), int(array.max())
-            if lo < 0 or hi >= to_set.size:
-                raise OP2MappingError(
-                    f"map {name!r}: indices [{lo}, {hi}] fall outside target set "
-                    f"{to_set.name!r} of size {to_set.size}"
-                )
         self.map_id = next(_map_ids)
         self.from_set = from_set
         self.to_set = to_set
         self.dim = dim
-        self.values = array
-        self.values.setflags(write=False)
         self.name = name or f"map_{self.map_id}"
+        self._version = 0
+        self.values = self._validated(values)
+
+    def _validated(self, values: Sequence[int] | np.ndarray) -> np.ndarray:
+        array = np.asarray(values, dtype=np.int64)
+        expected = self.from_set.size * self.dim
+        if array.size != expected:
+            raise OP2MappingError(
+                f"map {self.name!r}: expected {expected} entries "
+                f"({self.from_set.size} elements x dim {self.dim}), got {array.size}"
+            )
+        array = array.reshape(self.from_set.size, self.dim)
+        if self.from_set.size and self.to_set.size == 0:
+            raise OP2MappingError(
+                f"map {self.name!r}: target set {self.to_set.name!r} is empty"
+            )
+        if array.size:
+            lo, hi = int(array.min()), int(array.max())
+            if lo < 0 or hi >= self.to_set.size:
+                raise OP2MappingError(
+                    f"map {self.name!r}: indices [{lo}, {hi}] fall outside target set "
+                    f"{self.to_set.name!r} of size {self.to_set.size}"
+                )
+        array = array.copy()
+        array.setflags(write=False)
+        return array
+
+    # -- versioning (mirrors OpDat.bump_version; folded into plan cache keys) -----
+    @property
+    def version(self) -> int:
+        """Monotonic counter, bumped whenever the map's values are replaced."""
+        return self._version
+
+    def bump_version(self) -> int:
+        """Record that the map's connectivity has changed."""
+        self._version += 1
+        return self._version
+
+    def set_values(self, values: Sequence[int] | np.ndarray) -> None:
+        """Replace the connectivity (validated); bumps the version so cached
+        execution plans keyed on this map are recomputed."""
+        self.values = self._validated(values)
+        self.bump_version()
 
     def targets(self, element: int) -> np.ndarray:
         """The ``dim`` target indices of ``element`` of the source set."""

@@ -12,7 +12,7 @@ HPX-style).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
 
@@ -25,6 +25,10 @@ from repro.op2.set import OpSet
 from repro.sim.cost import KernelProfile
 
 __all__ = ["ParLoop", "op_par_loop"]
+
+#: duplicate-scatter-target answers per (map_id, map_version, slot, start, stop)
+_scatter_conflict_cache: dict[tuple, bool] = {}
+_SCATTER_CACHE_LIMIT = 65536
 
 
 class ParLoop:
@@ -103,7 +107,7 @@ class ParLoop:
             containers += 1
             per_iter = float(arg.bytes_per_iteration)
             if arg.is_indirect:
-                per_iter += 8.0  # the map entry itself is read
+                bytes_read += 8.0  # the map entry itself is read (never written)
             if arg.access.reads:
                 bytes_read += per_iter
             if arg.access.writes:
@@ -133,10 +137,44 @@ class ParLoop:
             )
         if start == stop:
             return
-        if prefer_vectorized and self.kernel.has_vectorized:
+        if self._use_vectorized(start, stop, prefer_vectorized):
             self._execute_block_vectorized(start, stop)
         else:
             self._execute_block_elemental(start, stop)
+
+    def _use_vectorized(self, start: int, stop: int, prefer_vectorized: bool) -> bool:
+        return (
+            prefer_vectorized
+            and self.kernel.has_vectorized
+            and not self._scatter_conflicts(start, stop)
+        )
+
+    def _scatter_conflicts(self, start: int, stop: int) -> bool:
+        """True when an indirect WRITE/RW argument hits the same target twice.
+
+        The vectorised scatter-back (``dat.data[targets] = buffer``) resolves
+        duplicate targets as *last assignment wins on the gathered values*,
+        whereas the elemental path lets later iterations observe earlier
+        writes.  Blocks with duplicate WRITE/RW targets therefore fall back to
+        the elemental path so both paths stay identical.  The answer only
+        depends on the map slice, so it is cached per (map, version, slot,
+        range) -- time-stepping loops re-ask for the same blocks every
+        iteration.
+        """
+        for arg in self.args:
+            if arg.is_indirect and arg.access in (AccessMode.WRITE, AccessMode.RW):
+                assert arg.map is not None
+                key = (arg.map.map_id, arg.map.version, arg.map_index, start, stop)  # type: ignore[union-attr]
+                cached = _scatter_conflict_cache.get(key)
+                if cached is None:
+                    targets = arg.map.values[start:stop, arg.map_index]  # type: ignore[union-attr]
+                    cached = bool(np.unique(targets).size != targets.size)
+                    if len(_scatter_conflict_cache) >= _SCATTER_CACHE_LIMIT:
+                        _scatter_conflict_cache.clear()
+                    _scatter_conflict_cache[key] = cached
+                if cached:
+                    return True
+        return False
 
     # elemental path ------------------------------------------------------------------
     def _execute_block_elemental(self, start: int, stop: int) -> None:
@@ -159,7 +197,11 @@ class ParLoop:
 
     # vectorised path ------------------------------------------------------------------
     def _execute_block_vectorized(self, start: int, stop: int) -> None:
-        """Gather/scatter wrapper around the kernel's NumPy block form.
+        """Gather/scatter wrapper around the kernel's NumPy block form."""
+        self._prepare_vectorized(start, stop)()
+
+    def _prepare_vectorized(self, start: int, stop: int) -> Callable[[], None]:
+        """Run the block form into private buffers; return the merge closure.
 
         Convention for the block form's arguments (one per ``op_arg``):
 
@@ -169,8 +211,15 @@ class ParLoop:
         * indirect dat, INC: a zero-filled ``(n, dim)`` buffer the kernel adds
           increments into (scatter-added afterwards with ``np.add.at``);
         * indirect dat, WRITE/RW: a gathered copy written back afterwards;
-        * global READ: the global array; global INC/MIN/MAX: a zero/neutral
-          buffer combined into the global afterwards.
+        * global READ/WRITE/RW: the live global array, so WRITE assigns and RW
+          observes the previous value exactly like the elemental path;
+        * global INC/MIN/MAX: a zero/neutral buffer combined into the global
+          afterwards.
+
+        The returned closure applies the indirect scatters and the global
+        reductions; calling it immediately reproduces plain block execution,
+        while the threaded engines defer it so merges happen in deterministic
+        chunk order (see :meth:`prepare_block`).
         """
         n = stop - start
         views: list[np.ndarray] = []
@@ -179,12 +228,12 @@ class ParLoop:
         for arg in self.args:
             if arg.is_global:
                 assert arg.gbl_data is not None
-                if arg.access is AccessMode.READ:
-                    views.append(arg.gbl_data)
-                else:
+                if arg.access.is_reduction:
                     neutral = self._reduction_neutral(arg)
                     views.append(neutral)
                     reductions.append((arg, neutral))
+                else:  # READ / WRITE / RW observe (and mutate) the live value
+                    views.append(arg.gbl_data)
                 continue
             assert arg.dat is not None
             if arg.is_direct:
@@ -205,20 +254,54 @@ class ParLoop:
 
         self.kernel.vectorized(np.arange(start, stop), *views)  # type: ignore[misc]
 
-        for arg, targets, buffer in writebacks:
-            assert arg.dat is not None
-            if arg.access is AccessMode.INC:
-                np.add.at(arg.dat.data, targets, buffer)
-            else:
-                arg.dat.data[targets] = buffer
-        for arg, buffer in reductions:
-            assert arg.gbl_data is not None
-            if arg.access in (AccessMode.INC, AccessMode.RW, AccessMode.WRITE):
-                arg.gbl_data += buffer
-            elif arg.access is AccessMode.MIN:
-                np.minimum(arg.gbl_data, buffer, out=arg.gbl_data)
-            elif arg.access is AccessMode.MAX:
-                np.maximum(arg.gbl_data, buffer, out=arg.gbl_data)
+        def merge() -> None:
+            for arg, targets, buffer in writebacks:
+                assert arg.dat is not None
+                if arg.access is AccessMode.INC:
+                    np.add.at(arg.dat.data, targets, buffer)
+                else:
+                    arg.dat.data[targets] = buffer
+            for arg, buffer in reductions:
+                assert arg.gbl_data is not None
+                if arg.access is AccessMode.INC:
+                    arg.gbl_data += buffer
+                elif arg.access is AccessMode.MIN:
+                    np.minimum(arg.gbl_data, buffer, out=arg.gbl_data)
+                elif arg.access is AccessMode.MAX:
+                    np.maximum(arg.gbl_data, buffer, out=arg.gbl_data)
+
+        return merge
+
+    # deferred execution (threaded engines) ---------------------------------------------
+    def prepare_block(
+        self, start: int, stop: int, *, prefer_vectorized: bool = True
+    ) -> Callable[[], None]:
+        """Compute ``[start, stop)`` now where safe; return the merge closure.
+
+        This is the primitive of the threaded execution engines: the compute
+        part (gather + kernel) may run concurrently with other chunks of the
+        same loop because all scatters and reductions are staged in private
+        buffers, and the returned closure -- which commits those effects --
+        must be invoked in ascending chunk order so results stay identical to
+        sequential block execution.
+
+        Blocks that cannot be privatised (no vectorised form, a global
+        WRITE/RW argument whose kernel must observe prior iterations, or
+        duplicate WRITE/RW scatter targets) return a closure performing the
+        *entire* block execution, pushing the compute into the ordered merge
+        phase where it is race-free.
+        """
+        if start == stop:
+            return lambda: None
+        serialized = not self._use_vectorized(start, stop, prefer_vectorized) or any(
+            arg.is_global and arg.access in (AccessMode.WRITE, AccessMode.RW)
+            for arg in self.args
+        )
+        if serialized:
+            return lambda: self.execute_block(
+                start, stop, prefer_vectorized=prefer_vectorized
+            )
+        return self._prepare_vectorized(start, stop)
 
     @staticmethod
     def _reduction_neutral(arg: OpArg) -> np.ndarray:

@@ -120,7 +120,18 @@ def _cache_key(iterset: OpSet, block_size: int, args: Sequence[OpArg]) -> tuple:
     arg_keys = []
     for arg in _indirect_write_args(args):
         assert arg.dat is not None and arg.map is not None
-        arg_keys.append((arg.dat.dat_id, arg.map.map_id, arg.map_index, arg.access.value))  # type: ignore[union-attr]
+        # The map's version is part of the key: renumbering a map's values
+        # (OpMap.set_values) must invalidate any colouring computed from the
+        # old connectivity, exactly like OpDat.bump_version for data.
+        arg_keys.append(
+            (
+                arg.dat.dat_id,
+                arg.map.map_id,  # type: ignore[union-attr]
+                arg.map.version,  # type: ignore[union-attr]
+                arg.map_index,
+                arg.access.value,
+            )
+        )
     return (iterset.set_id, iterset.size, block_size, tuple(arg_keys))
 
 

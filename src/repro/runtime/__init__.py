@@ -25,6 +25,7 @@ numbers for the paper's figures come from the machine model in
 
 from repro.runtime.future import (
     Future,
+    HandleFuture,
     Promise,
     SharedFuture,
     make_exceptional_future,
@@ -32,6 +33,7 @@ from repro.runtime.future import (
     when_all,
     when_any,
 )
+from repro.runtime.pool_executor import PoolExecutor
 from repro.runtime.lco import AndGate, Barrier, Channel, CountingSemaphore, Event, Latch
 from repro.runtime.scheduler import (
     ImmediateScheduler,
@@ -66,8 +68,10 @@ from repro.runtime.runtime import HPXRuntime, runtime_session
 
 __all__ = [
     "Future",
+    "HandleFuture",
     "Promise",
     "SharedFuture",
+    "PoolExecutor",
     "make_ready_future",
     "make_exceptional_future",
     "when_all",

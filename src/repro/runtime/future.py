@@ -27,6 +27,7 @@ __all__ = [
     "Promise",
     "Future",
     "SharedFuture",
+    "HandleFuture",
     "make_ready_future",
     "make_exceptional_future",
     "when_all",
@@ -211,6 +212,11 @@ class Future(Generic[T]):
         self._consumed = True
         return promise.get_future()
 
+    def add_done_callback(self, callback: Callable[[], None]) -> None:
+        """Run ``callback`` once the future is ready (immediately if it is)."""
+        self._check_valid()
+        self._state.add_callback(callback)
+
     def _check_valid(self) -> None:
         if self._consumed:
             raise FutureError("future is no longer valid (already consumed)")
@@ -260,9 +266,35 @@ class SharedFuture(Generic[T]):
         self._state.add_callback(run)
         return promise.get_future()
 
+    def add_done_callback(self, callback: Callable[[], None]) -> None:
+        """Run ``callback`` once the future is ready (immediately if it is)."""
+        self._state.add_callback(callback)
+
     @property
     def _shared_state(self) -> _SharedState[T]:
         return self._state
+
+
+class HandleFuture(SharedFuture[T]):
+    """A shared future whose *handle* is known eagerly.
+
+    The threaded ``op_par_loop`` returns an ``op_dat`` whose identity exists
+    the moment the loop is scheduled, while the data behind it only becomes
+    valid once the loop's last chunk has merged.  ``handle`` exposes that
+    identity without blocking -- later loops can be *declared* against it
+    immediately (preserving asynchrony, Fig. 9/10 of the paper) -- and
+    ``get()``/``wait()`` keep real completion semantics: they block until the
+    producer satisfied the underlying promise.
+    """
+
+    def __init__(self, handle: T, state: Optional[_SharedState[T]] = None) -> None:
+        super().__init__(state)
+        self.handle = handle
+
+    @classmethod
+    def from_promise(cls, handle: T, promise: "Promise[T]") -> "HandleFuture[T]":
+        """A handle future completing when ``promise`` is satisfied."""
+        return cls(handle, promise.get_future()._shared_state)
 
 
 AnyFuture = (Future, SharedFuture)

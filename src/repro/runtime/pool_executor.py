@@ -1,0 +1,246 @@
+"""A dependency-gated worker pool: the *real* threaded chunk-DAG engine.
+
+The simulator (:mod:`repro.sim.scheduler_sim`) models how the paper's
+futurized ``op_par_loop`` chunks would overlap; :class:`PoolExecutor` actually
+runs them.  Tasks are plain callables submitted together with the ids of the
+tasks they must wait for; a task becomes *ready* once every dependency has
+completed, and ready tasks are executed by a pool of OS worker threads in
+FIFO order.  This is the execution substrate behind
+``hpx_context(execution="threads")`` and the OpenMP backend's pooled
+fork/join-per-colour mode.
+
+Design notes
+------------
+* **Readiness, not polling.**  Each task keeps a count of outstanding
+  dependencies; completing a task decrements its dependents and enqueues any
+  that reach zero.  Workers block on a condition variable while no task is
+  ready.  Completed tasks are evicted (only their id is remembered), so the
+  pool's live state is bounded by the unfinished frontier.
+* **Tasks never block inside the pool.**  The loop runners express ordering
+  (including the deterministic chunk-order merge chains) purely as
+  dependency edges, so a worker that picks up a task can always run it to
+  completion -- no turnstiles, no risk of deadlock with a single worker.
+* **Fail fast.**  The first exception poisons the pool: queued and future
+  tasks are skipped (their ``on_skip`` hooks fire and their dependents still
+  release, so :meth:`wait_all` drains) and the exception re-raises from
+  :meth:`wait_all` / :meth:`shutdown`.
+* **Tracing.**  When ``trace=True`` the pool records ``("start", id)`` /
+  ``("done", id)`` events under the pool lock; tests use the trace to assert
+  that no chunk ever started before its producers finished.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from typing import Callable, Iterable, Optional
+
+from repro.errors import CancelledError, RuntimeStateError, SchedulerError
+
+__all__ = ["PoolExecutor"]
+
+
+class _TaskNode:
+    """Book-keeping for one submitted, not-yet-finished task."""
+
+    __slots__ = ("fn", "on_skip", "remaining", "dependents")
+
+    def __init__(
+        self, fn: Callable[[], None], on_skip: Optional[Callable[[], None]]
+    ) -> None:
+        self.fn = fn
+        self.on_skip = on_skip
+        self.remaining = 0
+        self.dependents: list[int] = []
+
+
+class PoolExecutor:
+    """Run dependency-gated tasks on ``num_workers`` OS threads.
+
+    Parameters
+    ----------
+    num_workers:
+        Number of worker threads; must be positive.
+    name:
+        Thread-name prefix (useful when several pools coexist).
+    trace:
+        Record ``("start", task_id)`` / ``("done", task_id)`` events in
+        :attr:`trace_events` (used by tests and the DAG-enforcement checks).
+    """
+
+    def __init__(self, num_workers: int, *, name: str = "chunk-pool", trace: bool = False) -> None:
+        if num_workers <= 0:
+            raise SchedulerError(f"num_workers must be positive, got {num_workers}")
+        self._num_workers = num_workers
+        self._ids = itertools.count()
+        self._cond = threading.Condition()
+        self._tasks: dict[int, _TaskNode] = {}
+        self._done: set[int] = set()
+        self._ready: deque[int] = deque()
+        self._pending = 0
+        self._failure: Optional[BaseException] = None
+        self._shutdown = False
+        self.trace_events: Optional[list[tuple[str, int]]] = [] if trace else None
+        self._workers = [
+            threading.Thread(target=self._worker_loop, name=f"{name}-{i}", daemon=True)
+            for i in range(num_workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- submission -----------------------------------------------------------------
+    @property
+    def num_workers(self) -> int:
+        """Number of OS worker threads backing the pool."""
+        return self._num_workers
+
+    @property
+    def is_shutdown(self) -> bool:
+        """True once :meth:`shutdown` has been called."""
+        with self._cond:
+            return self._shutdown
+
+    def submit(
+        self,
+        fn: Callable[[], None],
+        *,
+        deps: Iterable[int] = (),
+        on_skip: Optional[Callable[[], None]] = None,
+    ) -> int:
+        """Submit ``fn`` gated on ``deps``; returns the new task's id.
+
+        ``deps`` are ids returned by earlier :meth:`submit` calls; already
+        completed dependencies are satisfied immediately.  Unknown ids raise
+        :class:`~repro.errors.SchedulerError` (a forward or foreign edge would
+        silently never release the task).  ``on_skip`` runs instead of ``fn``
+        when the pool is poisoned or cancelled before the task executes --
+        producers use it to break the promises consumers may be blocked on.
+        """
+        with self._cond:
+            if self._shutdown:
+                raise RuntimeStateError("pool executor has been shut down")
+            task_id = next(self._ids)
+            node = _TaskNode(fn, on_skip)
+            for dep in set(deps):
+                if dep in self._done:
+                    continue
+                dep_node = self._tasks.get(dep)
+                if dep_node is None:
+                    raise SchedulerError(f"task depends on unknown task id {dep}")
+                dep_node.dependents.append(task_id)
+                node.remaining += 1
+            self._tasks[task_id] = node
+            self._pending += 1
+            if node.remaining == 0:
+                self._ready.append(task_id)
+                self._cond.notify()
+            return task_id
+
+    def submit_chunk(
+        self,
+        prepare: Callable[[], Callable[[], None]],
+        *,
+        deps: Iterable[int] = (),
+        after: Optional[int] = None,
+    ) -> tuple[int, int]:
+        """Submit one loop chunk as a compute task plus a chained merge task.
+
+        ``prepare`` runs on the pool once ``deps`` completed (gather + kernel
+        into private buffers) and returns the closure committing its effects;
+        the merge task invokes that closure after both the compute task and
+        ``after`` (the previous chunk's merge task) completed.  Chaining the
+        merges keeps commit order deterministic -- the invariant both the
+        dataflow runner and the pooled OpenMP backend rely on.  Returns
+        ``(compute_id, merge_id)``.
+        """
+        holder: dict[str, Callable[[], None]] = {}
+
+        def compute() -> None:
+            holder["merge"] = prepare()
+
+        def merge() -> None:
+            commit = holder.pop("merge", None)
+            if commit is not None:
+                commit()
+
+        compute_id = self.submit(compute, deps=deps)
+        merge_deps = [compute_id] if after is None else [compute_id, after]
+        merge_id = self.submit(merge, deps=merge_deps)
+        return compute_id, merge_id
+
+    # -- synchronisation --------------------------------------------------------------
+    def wait_all(self, timeout: Optional[float] = None) -> None:
+        """Block until every submitted task has completed.
+
+        Re-raises the first exception raised by any task.  More tasks may be
+        submitted afterwards (the pool is reusable between barriers).
+        """
+        with self._cond:
+            if not self._cond.wait_for(lambda: self._pending == 0, timeout=timeout):
+                raise RuntimeStateError(
+                    f"pool executor still has {self._pending} pending tasks after "
+                    f"{timeout}s"
+                )
+            failure, self._failure = self._failure, None
+        if failure is not None:
+            raise failure
+
+    def cancel_pending(self) -> None:
+        """Poison the pool: not-yet-started tasks are skipped (``on_skip`` fires).
+
+        In-flight tasks finish; used when abandoning a run mid-way (e.g. the
+        application raised inside the execution context).
+        """
+        with self._cond:
+            if self._failure is None:
+                self._failure = CancelledError("pool executor cancelled")
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the pool; with ``wait=True`` drain outstanding work first,
+        otherwise cancel whatever has not started yet."""
+        if wait:
+            self.wait_all()
+        else:
+            self.cancel_pending()
+        with self._cond:
+            self._shutdown = True
+            self._cond.notify_all()
+        for worker in self._workers:
+            worker.join(timeout=5.0)
+
+    # -- worker loop -------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._ready and not self._shutdown:
+                    self._cond.wait()
+                if not self._ready:
+                    return  # shutdown with no work left
+                task_id = self._ready.popleft()
+                node = self._tasks[task_id]
+                poisoned = self._failure is not None
+                if self.trace_events is not None:
+                    self.trace_events.append(("start", task_id))
+            try:
+                if poisoned:
+                    if node.on_skip is not None:
+                        node.on_skip()
+                else:
+                    node.fn()
+            except BaseException as exc:  # noqa: BLE001 - routed to wait_all
+                with self._cond:
+                    if self._failure is None:
+                        self._failure = exc
+            with self._cond:
+                del self._tasks[task_id]  # release the closure and staged buffers
+                self._done.add(task_id)
+                self._pending -= 1
+                if self.trace_events is not None:
+                    self.trace_events.append(("done", task_id))
+                for dependent_id in node.dependents:
+                    child = self._tasks[dependent_id]
+                    child.remaining -= 1
+                    if child.remaining == 0:
+                        self._ready.append(dependent_id)
+                self._cond.notify_all()

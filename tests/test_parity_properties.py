@@ -1,0 +1,306 @@
+"""Elemental ≡ vectorised parity (property-based) and bugfix regressions.
+
+The repo's core numerical invariant is that a kernel's elemental and block
+(vectorised) forms produce identical results for every access mode --
+including globals under WRITE/RW (historically divergent: the vectorised path
+handed the kernel a zero buffer and *added* it into the global) and duplicate
+map targets under WRITE/RW scatter-back (historically last-writer-wins on
+stale gathered values).  All draws are integer-valued doubles, so every
+operation is exact and the comparison can demand bit equality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.op2 import (
+    OP_ID,
+    OP_INC,
+    OP_MAX,
+    OP_MIN,
+    OP_READ,
+    OP_RW,
+    OP_WRITE,
+    Kernel,
+    op_arg_dat,
+    op_arg_gbl,
+    op_decl_dat,
+    op_decl_map,
+    op_decl_set,
+    op_par_loop,
+)
+from repro.op2.access import AccessMode
+from repro.op2.backends.hpx import hpx_context
+from repro.op2.backends.openmp import openmp_context
+from repro.op2.backends.serial import serial_context
+from repro.op2.context import active_context
+from repro.op2.par_loop import ParLoop
+from repro.op2.plan import clear_plan_cache, op_plan_get
+from repro.runtime.pool_executor import PoolExecutor
+
+
+# ---------------------------------------------------------------------------
+# kernels parameterised by access mode (elemental / vectorised pairs)
+# ---------------------------------------------------------------------------
+def _kernels_for(mode: AccessMode, gmode: AccessMode) -> Kernel:
+    """Kernel over (edge_in READ, node via map <mode>, out WRITE, gbl <gmode>)."""
+
+    def elemental(ein, nd, out, g):
+        if mode is AccessMode.READ:
+            out[0] = nd[0] + ein[0]
+        elif mode is AccessMode.WRITE:
+            nd[0] = ein[0]
+            out[0] = ein[0]
+        elif mode is AccessMode.RW:
+            nd[0] = nd[0] + ein[0]
+            out[0] = nd[0]  # observes earlier same-loop writes under duplicates
+        else:  # INC
+            nd[0] += ein[0]
+            out[0] = ein[0]
+        if gmode is AccessMode.READ:
+            out[0] += g[0]
+        elif gmode is AccessMode.WRITE:
+            g[0] = 7.0
+        elif gmode is AccessMode.RW:
+            g[0] = g[0] + ein[0]
+        elif gmode is AccessMode.INC:
+            g[0] += ein[0]
+        elif gmode is AccessMode.MIN:
+            g[0] = min(g[0], ein[0])
+        else:  # MAX
+            g[0] = max(g[0], ein[0])
+
+    def vectorized(_idx, ein, nd, out, g):
+        if mode is AccessMode.READ:
+            out[:, 0] = nd[:, 0] + ein[:, 0]
+        elif mode is AccessMode.WRITE:
+            nd[:, 0] = ein[:, 0]
+            out[:, 0] = ein[:, 0]
+        elif mode is AccessMode.RW:
+            nd[:, 0] = nd[:, 0] + ein[:, 0]
+            out[:, 0] = nd[:, 0]
+        else:  # INC
+            nd[:, 0] += ein[:, 0]
+            out[:, 0] = ein[:, 0]
+        if gmode is AccessMode.READ:
+            out[:, 0] += g[0]
+        elif gmode is AccessMode.WRITE:
+            g[0] = 7.0
+        elif gmode is AccessMode.RW:
+            g[0] = g[0] + float(np.sum(ein[:, 0]))
+        elif gmode is AccessMode.INC:
+            g[0] += float(np.sum(ein[:, 0]))
+        elif gmode is AccessMode.MIN:
+            g[0] = min(g[0], float(np.min(ein[:, 0])))
+        else:  # MAX
+            g[0] = max(g[0], float(np.max(ein[:, 0])))
+
+    return Kernel(name=f"parity_{mode.value}_{gmode.value}", elemental=elemental,
+                  vectorized=vectorized)
+
+
+def _build_problem(mapping, edge_vals, node_vals, gbl0):
+    edges = op_decl_set(len(mapping), "edges")
+    nodes = op_decl_set(len(node_vals), "nodes")
+    pedge = op_decl_map(edges, nodes, 1, list(mapping), "pedge")
+    ein = op_decl_dat(edges, 1, "double", np.array(edge_vals, dtype=np.float64), "ein")
+    out = op_decl_dat(edges, 1, "double", np.zeros(len(mapping)), "out")
+    nd = op_decl_dat(nodes, 1, "double", np.array(node_vals, dtype=np.float64), "nd")
+    g = np.array([gbl0], dtype=np.float64)
+    return edges, pedge, ein, out, nd, g
+
+
+_MODES = [AccessMode.READ, AccessMode.WRITE, AccessMode.RW, AccessMode.INC]
+_GMODES = [
+    AccessMode.READ,
+    AccessMode.WRITE,
+    AccessMode.RW,
+    AccessMode.INC,
+    AccessMode.MIN,
+    AccessMode.MAX,
+]
+
+
+@settings(max_examples=120, deadline=None)
+@given(data=st.data())
+def test_elemental_equals_vectorized_for_every_access_mode(data):
+    """Both execution paths are bit-identical for all (dat, global) mode pairs,
+    including duplicate map targets under WRITE/RW scatter-back."""
+    n_nodes = data.draw(st.integers(1, 6), label="n_nodes")
+    n_edges = data.draw(st.integers(1, 12), label="n_edges")
+    mapping = data.draw(
+        st.lists(st.integers(0, n_nodes - 1), min_size=n_edges, max_size=n_edges),
+        label="mapping",  # duplicates are likely and intended
+    )
+    mode = data.draw(st.sampled_from(_MODES), label="mode")
+    gmode = data.draw(st.sampled_from(_GMODES), label="gmode")
+    edge_vals = data.draw(
+        st.lists(st.integers(-50, 50), min_size=n_edges, max_size=n_edges),
+        label="edge_vals",
+    )
+    node_vals = data.draw(
+        st.lists(st.integers(-50, 50), min_size=n_nodes, max_size=n_nodes),
+        label="node_vals",
+    )
+    gbl0 = data.draw(st.integers(-50, 50), label="gbl0")
+    kernel = _kernels_for(mode, gmode)
+
+    results = []
+    for prefer_vectorized in (False, True):
+        edges, pedge, ein, out, nd, g = _build_problem(mapping, edge_vals, node_vals, gbl0)
+        with active_context(serial_context(prefer_vectorized=prefer_vectorized)):
+            op_par_loop(
+                kernel,
+                "parity",
+                edges,
+                op_arg_dat(ein, -1, OP_ID, 1, "double", OP_READ),
+                op_arg_dat(nd, 0, pedge, 1, "double", mode),
+                op_arg_dat(out, -1, OP_ID, 1, "double", OP_WRITE),
+                op_arg_gbl(g, 1, "double", gmode),
+            )
+        results.append((nd.data.copy(), out.data.copy(), g.copy()))
+
+    (nd_e, out_e, g_e), (nd_v, out_v, g_v) = results
+    assert np.array_equal(nd_e, nd_v), "node dat diverged between paths"
+    assert np.array_equal(out_e, out_v), "direct output diverged between paths"
+    assert np.array_equal(g_e, g_v), "global diverged between paths"
+
+
+# ---------------------------------------------------------------------------
+# regression: global OP_WRITE / OP_RW on the vectorised path (the 3.0-vs-8.0 bug)
+# ---------------------------------------------------------------------------
+class TestGlobalWriteRWRegression:
+    def _run(self, gmode, prefer_vectorized):
+        cells = op_decl_set(4, "cells")
+        dummy = op_decl_dat(cells, 1, "double", np.zeros(4), "dummy")
+        g = np.array([5.0])
+
+        def elemental(d, gbl):
+            if gmode is AccessMode.WRITE:
+                gbl[0] = 3.0
+            else:  # RW: bumps the live value once per element
+                gbl[0] = gbl[0] + 1.0
+
+        def vectorized(_idx, d, gbl):
+            if gmode is AccessMode.WRITE:
+                gbl[0] = 3.0
+            else:
+                gbl[0] = gbl[0] + float(len(_idx))
+
+        kernel = Kernel(name="gblfix", elemental=elemental, vectorized=vectorized)
+        with active_context(serial_context(prefer_vectorized=prefer_vectorized)):
+            op_par_loop(
+                kernel,
+                "gblfix",
+                cells,
+                op_arg_dat(dummy, -1, OP_ID, 1, "double", OP_READ),
+                op_arg_gbl(g, 1, "double", gmode),
+            )
+        return float(g[0])
+
+    def test_global_write_assigns_instead_of_accumulating(self):
+        # historical behaviour: elemental 3.0, vectorised 5.0 + 3.0 == 8.0
+        assert self._run(AccessMode.WRITE, prefer_vectorized=False) == 3.0
+        assert self._run(AccessMode.WRITE, prefer_vectorized=True) == 3.0
+
+    def test_global_rw_observes_previous_value(self):
+        # historical behaviour: the RW kernel saw a zero buffer, not 5.0
+        assert self._run(AccessMode.RW, prefer_vectorized=False) == 9.0
+        assert self._run(AccessMode.RW, prefer_vectorized=True) == 9.0
+
+
+# ---------------------------------------------------------------------------
+# regression: kernel_profile double-counted the map entry as written
+# ---------------------------------------------------------------------------
+class TestKernelProfileRegression:
+    @pytest.mark.parametrize(
+        "mode,expected_read,expected_written",
+        [
+            (OP_READ, 8.0 + 8.0, 0.0),
+            (OP_WRITE, 8.0, 8.0),
+            (OP_RW, 8.0 + 8.0, 8.0),
+            (OP_INC, 8.0 + 8.0, 8.0),
+        ],
+    )
+    def test_map_entry_counts_as_read_only(self, mode, expected_read, expected_written):
+        edges = op_decl_set(6, "edges")
+        nodes = op_decl_set(4, "nodes")
+        pedge = op_decl_map(edges, nodes, 1, [i % 4 for i in range(6)], "pedge")
+        nd = op_decl_dat(nodes, 1, "double", np.zeros(4), "nd")
+        kernel = Kernel(name="profile", elemental=lambda a: None)
+        loop = ParLoop(
+            kernel, "profile", edges, [op_arg_dat(nd, 0, pedge, 1, "double", mode)]
+        )
+        profile = loop.kernel_profile()
+        assert profile.bytes_read_per_element == expected_read
+        assert profile.bytes_written_per_element == expected_written
+
+
+# ---------------------------------------------------------------------------
+# regression: stale colouring after a map's values change
+# ---------------------------------------------------------------------------
+class TestPlanCacheMapVersionRegression:
+    def test_renumbered_map_invalidates_cached_plan(self):
+        clear_plan_cache()
+        edges = op_decl_set(4, "edges")
+        nodes = op_decl_set(4, "nodes")
+        pedge = op_decl_map(edges, nodes, 1, [0, 0, 0, 0], "conflicts")
+        nd = op_decl_dat(nodes, 1, "double", np.zeros(4), "nd")
+        args = [op_arg_dat(nd, 0, pedge, 1, "double", OP_INC)]
+
+        before = op_plan_get("stale", edges, 1, args)
+        assert before.ncolors == 4  # every block hits node 0
+
+        pedge.set_values([0, 1, 2, 3])  # renumber: now conflict-free
+        after = op_plan_get("stale", edges, 1, args)
+        assert after.ncolors == 1, "plan cache served a stale colouring"
+        assert pedge.version == 1
+
+    def test_set_values_revalidates(self):
+        edges = op_decl_set(2, "edges")
+        nodes = op_decl_set(2, "nodes")
+        pedge = op_decl_map(edges, nodes, 1, [0, 1], "strict")
+        from repro.errors import OP2MappingError
+
+        with pytest.raises(OP2MappingError):
+            pedge.set_values([0, 99])
+        assert pedge.version == 0  # failed update must not bump
+
+
+# ---------------------------------------------------------------------------
+# empty iteration sets through every backend and the pool executor
+# ---------------------------------------------------------------------------
+class TestEmptyIterset:
+    def _loop_on_empty(self, context):
+        clear_plan_cache()
+        empty = op_decl_set(0, "empty")
+        dat = op_decl_dat(empty, 1, "double", None, "void")
+        kernel = Kernel(
+            name="noop",
+            elemental=lambda a: None,
+            vectorized=lambda _idx, a: None,
+        )
+        with active_context(context):
+            return op_par_loop(
+                kernel, "noop", empty, op_arg_dat(dat, -1, OP_ID, 1, "double", OP_RW)
+            )
+
+    def test_serial(self):
+        assert self._loop_on_empty(serial_context()) is None
+
+    def test_openmp_both_modes(self):
+        for execution in ("simulate", "threads"):
+            assert self._loop_on_empty(openmp_context(execution=execution)) is None
+
+    def test_hpx_both_modes(self):
+        for execution in ("simulate", "threads"):
+            future = self._loop_on_empty(hpx_context(execution=execution))
+            assert future.get(timeout=10.0) is not None  # the (untouched) output dat
+
+    def test_pool_executor_with_no_tasks(self):
+        pool = PoolExecutor(2)
+        pool.wait_all(timeout=1.0)  # trivially idle
+        pool.shutdown()

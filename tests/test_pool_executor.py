@@ -1,0 +1,191 @@
+"""Tests of the dependency-gated worker pool (``repro.runtime.pool_executor``)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import RuntimeStateError, SchedulerError
+from repro.runtime.pool_executor import PoolExecutor
+
+
+@pytest.fixture
+def pool():
+    executor = PoolExecutor(4, trace=True)
+    yield executor
+    executor.shutdown(wait=False)
+
+
+class TestBasics:
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(SchedulerError):
+            PoolExecutor(0)
+
+    def test_runs_submitted_tasks(self, pool):
+        results = []
+        lock = threading.Lock()
+        for i in range(20):
+            pool.submit(lambda i=i: (lock.acquire(), results.append(i), lock.release()))
+        pool.wait_all(timeout=10.0)
+        assert sorted(results) == list(range(20))
+
+    def test_wait_all_is_reusable_between_batches(self, pool):
+        counter = {"n": 0}
+        lock = threading.Lock()
+
+        def bump():
+            with lock:
+                counter["n"] += 1
+
+        for _ in range(5):
+            pool.submit(bump)
+        pool.wait_all(timeout=10.0)
+        assert counter["n"] == 5
+        for _ in range(3):
+            pool.submit(bump)
+        pool.wait_all(timeout=10.0)
+        assert counter["n"] == 8
+
+    def test_submit_after_shutdown_raises(self):
+        executor = PoolExecutor(1)
+        executor.shutdown()
+        with pytest.raises(RuntimeStateError):
+            executor.submit(lambda: None)
+
+    def test_unknown_dependency_raises(self, pool):
+        with pytest.raises(SchedulerError):
+            pool.submit(lambda: None, deps=[12345])
+
+
+class TestDependencies:
+    def test_chain_executes_in_order(self, pool):
+        order = []
+        lock = threading.Lock()
+
+        def step(i):
+            with lock:
+                order.append(i)
+
+        prev = None
+        for i in range(30):
+            deps = [prev] if prev is not None else []
+            prev = pool.submit(lambda i=i: step(i), deps=deps)
+        pool.wait_all(timeout=10.0)
+        assert order == list(range(30))
+
+    def test_diamond_dependencies(self, pool):
+        order = []
+        lock = threading.Lock()
+
+        def mark(tag):
+            with lock:
+                order.append(tag)
+
+        a = pool.submit(lambda: mark("a"))
+        b = pool.submit(lambda: mark("b"), deps=[a])
+        c = pool.submit(lambda: mark("c"), deps=[a])
+        pool.submit(lambda: mark("d"), deps=[b, c])
+        pool.wait_all(timeout=10.0)
+        assert order[0] == "a" and order[-1] == "d"
+        assert set(order[1:3]) == {"b", "c"}
+
+    def test_completed_dependency_is_immediately_satisfied(self, pool):
+        first = pool.submit(lambda: None)
+        pool.wait_all(timeout=10.0)
+        ran = threading.Event()
+        pool.submit(ran.set, deps=[first])
+        pool.wait_all(timeout=10.0)
+        assert ran.is_set()
+
+    def test_trace_respects_every_edge(self, pool):
+        edges = []
+        ids = []
+        for i in range(50):
+            deps = [ids[j] for j in range(max(0, i - 3), i) if j % 2 == 0]
+            ids.append(pool.submit(lambda: time.sleep(0.0005), deps=deps))
+            edges.extend((dep, ids[-1]) for dep in deps)
+        pool.wait_all(timeout=30.0)
+        trace = pool.trace_events
+        done_at = {tid: n for n, (kind, tid) in enumerate(trace) if kind == "done"}
+        start_at = {tid: n for n, (kind, tid) in enumerate(trace) if kind == "start"}
+        for dep, child in edges:
+            assert done_at[dep] < start_at[child], (dep, child)
+
+    def test_tasks_actually_overlap_on_multiple_workers(self, pool):
+        """Two independent tasks can rendezvous -- impossible if serialised."""
+        gate_a, gate_b = threading.Event(), threading.Event()
+
+        def first():
+            gate_a.set()
+            assert gate_b.wait(timeout=5.0)
+
+        def second():
+            gate_b.set()
+            assert gate_a.wait(timeout=5.0)
+
+        pool.submit(first)
+        pool.submit(second)
+        pool.wait_all(timeout=10.0)
+
+
+class TestFailures:
+    def test_exception_reraised_from_wait_all(self, pool):
+        def boom():
+            raise ValueError("chunk exploded")
+
+        pool.submit(boom)
+        with pytest.raises(ValueError, match="chunk exploded"):
+            pool.wait_all(timeout=10.0)
+
+    def test_failure_skips_queued_tasks_but_drains(self, pool):
+        ran = threading.Event()
+
+        def boom():
+            raise RuntimeError("first")
+
+        failed = pool.submit(boom)
+        pool.submit(ran.set, deps=[failed])
+        with pytest.raises(RuntimeError, match="first"):
+            pool.wait_all(timeout=10.0)
+        assert not ran.is_set()
+
+    def test_on_skip_fires_for_poisoned_tasks(self, pool):
+        skipped = threading.Event()
+
+        def boom():
+            raise RuntimeError("poison")
+
+        failed = pool.submit(boom)
+        pool.submit(lambda: None, deps=[failed], on_skip=skipped.set)
+        with pytest.raises(RuntimeError, match="poison"):
+            pool.wait_all(timeout=10.0)
+        assert skipped.is_set()
+
+    def test_cancel_pending_skips_unstarted_tasks(self):
+        executor = PoolExecutor(1)
+        try:
+            gate = threading.Event()
+            ran = threading.Event()
+            blocker = executor.submit(lambda: gate.wait(timeout=5.0))
+            executor.submit(ran.set, deps=[blocker])
+            executor.cancel_pending()
+            gate.set()
+            with pytest.raises(Exception):  # CancelledError via wait_all
+                executor.wait_all(timeout=10.0)
+            assert not ran.is_set()
+        finally:
+            executor.shutdown(wait=False)
+
+    def test_wait_all_times_out(self):
+        executor = PoolExecutor(1)
+        try:
+            gate = threading.Event()
+            executor.submit(lambda: gate.wait(timeout=5.0))
+            with pytest.raises(RuntimeStateError, match="pending"):
+                executor.wait_all(timeout=0.05)
+            gate.set()
+            executor.wait_all(timeout=10.0)
+        finally:
+            executor.shutdown(wait=False)
