@@ -59,8 +59,32 @@ def main() -> None:
     _, _, hpx_report = runs[2]
     print(
         f"\nhpx threads: {hpx_report.details['total_chunks']} chunks, "
-        f"{hpx_report.details['total_dependencies']} dependency edges enforced at runtime"
+        f"{hpx_report.details['total_dependencies']} dependency edges "
+        f"({hpx_report.details['dependency_mode']} summaries) enforced at runtime"
     )
+
+    # Renumbered meshes are where the exact interval-set summaries earn their
+    # keep: shuffled cell/node ids defeat a single [min, max] interval, which
+    # then serializes chunks whose true target sets are disjoint.
+    from repro.bench.harness import AirfoilWorkload, ExperimentConfig, run_renumbered_sweep
+
+    sweep = run_renumbered_sweep(
+        ExperimentConfig(
+            backend="hpx",
+            num_threads=8,
+            execution="threads",
+            workload=AirfoilWorkload(nx=120, ny=80, niter=1, rk_steps=2),
+        ),
+        renumberings=("shuffle",),
+    )
+    print("\ndependency edges by chunk-summary representation:")
+    for mesh_label, modes in sweep.items():
+        exact, coarse = modes["interval_set"], modes["minmax"]
+        print(
+            f"  {mesh_label:8s} interval-set={exact['dependency_edges']:6.0f}  "
+            f"minmax={coarse['dependency_edges']:6.0f}  "
+            f"correct={bool(exact['numerically_correct']) and bool(coarse['numerically_correct'])}"
+        )
 
 
 if __name__ == "__main__":

@@ -23,11 +23,20 @@ from repro.apps.airfoil.kernels import (
     SAVE_SOLN,
     UPDATE,
 )
-from repro.apps.airfoil.mesh import AirfoilMesh, generate_mesh
+from repro.apps.airfoil.mesh import (
+    RENUMBER_METHODS,
+    AirfoilMesh,
+    generate_mesh,
+    renumber_mesh,
+    reverse_cuthill_mckee,
+)
 
 __all__ = [
     "AirfoilMesh",
     "generate_mesh",
+    "renumber_mesh",
+    "reverse_cuthill_mckee",
+    "RENUMBER_METHODS",
     "AirfoilProblem",
     "AirfoilResult",
     "run_airfoil",

@@ -36,6 +36,7 @@ p_bound   boundary condition flag (dim 1, int)   ``op_decl_dat``
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -46,7 +47,13 @@ from repro.op2.dat import OpDat, op_decl_dat
 from repro.op2.map import OpMap, op_decl_map
 from repro.op2.set import OpSet, op_decl_set
 
-__all__ = ["AirfoilMesh", "generate_mesh"]
+__all__ = [
+    "AirfoilMesh",
+    "generate_mesh",
+    "renumber_mesh",
+    "reverse_cuthill_mckee",
+    "RENUMBER_METHODS",
+]
 
 
 @dataclass
@@ -264,3 +271,136 @@ def generate_mesh(nx: int = 60, ny: int = 40, *, channel_pinch: float = 0.2) -> 
     )
     mesh.validate()
     return mesh
+
+
+# ---------------------------------------------------------------------------
+# Renumbering: the meshes that stress the dependency tracker
+# ---------------------------------------------------------------------------
+#: supported :func:`renumber_mesh` methods
+RENUMBER_METHODS = ("shuffle", "scramble", "reverse", "rcm")
+
+
+def reverse_cuthill_mckee(num_vertices: int, pairs: np.ndarray) -> np.ndarray:
+    """Reverse-Cuthill-McKee permutation of a graph given as vertex pairs.
+
+    ``pairs`` is an ``(m, 2)`` array of undirected edges.  Returns ``perm``
+    with ``perm[old] = new``: vertices are BFS-visited from a minimum-degree
+    seed, neighbours in ascending degree order, and the visit order reversed
+    -- the classic bandwidth-reducing renumbering.  Isolated vertices (and
+    further connected components) are seeded the same way, so the
+    permutation is always a complete bijection.
+    """
+    adjacency: list[list[int]] = [[] for _ in range(num_vertices)]
+    for a, b in np.asarray(pairs, dtype=np.int64).reshape(-1, 2):
+        a, b = int(a), int(b)
+        if a != b:
+            adjacency[a].append(b)
+            adjacency[b].append(a)
+    degree = [len(neighbours) for neighbours in adjacency]
+    visited = [False] * num_vertices
+    order: list[int] = []
+    for seed in sorted(range(num_vertices), key=degree.__getitem__):
+        if visited[seed]:
+            continue
+        visited[seed] = True
+        queue = deque([seed])
+        while queue:
+            vertex = queue.popleft()
+            order.append(vertex)
+            for neighbour in sorted(adjacency[vertex], key=degree.__getitem__):
+                if not visited[neighbour]:
+                    visited[neighbour] = True
+                    queue.append(neighbour)
+    order.reverse()
+    perm = np.empty(num_vertices, dtype=np.int64)
+    perm[np.asarray(order, dtype=np.int64)] = np.arange(num_vertices, dtype=np.int64)
+    return perm
+
+
+def _cell_corner_pairs(cell_nodes: np.ndarray) -> np.ndarray:
+    """Node-adjacency pairs along quad edges (interior *and* boundary)."""
+    rolled = np.roll(cell_nodes, -1, axis=1)
+    return np.stack((cell_nodes.reshape(-1), rolled.reshape(-1)), axis=1)
+
+
+def renumber_mesh(mesh: AirfoilMesh, *, method: str = "shuffle", seed: int = 0) -> AirfoilMesh:
+    """Return a renumbered copy of ``mesh`` (same geometry, new numbering).
+
+    Renumbering changes nothing physical -- it permutes node and cell ids
+    and reorders the edge lists -- but it is exactly what breaks ``[min,
+    max]`` chunk access summaries: a chunk of consecutive edges then touches
+    cells scattered over the whole dat, and the single-interval tracker
+    serializes chunks whose true target sets are disjoint.
+
+    Methods
+    -------
+    ``"shuffle"``
+        Uniform-random *renumbering* of nodes and cells; edge iteration
+        order is kept, so chunks of consecutive edges remain geometrically
+        local but their target ids are scattered over the whole dat.  This
+        is the paper-relevant false-edge case: the true chunk target sets
+        stay sparse (mostly disjoint) while every ``[min, max]`` hull spans
+        nearly the entire dat.  ``seed`` selects the draw.
+    ``"scramble"``
+        ``"shuffle"`` plus random edge/boundary-edge *iteration order*.  Here
+        even the exact target sets of sizeable chunks overlap (a chunk of
+        random edges touches cells everywhere), so the dependency DAG is
+        genuinely dense -- the control case no summary representation can
+        relieve.
+    ``"reverse"``
+        Every numbering and ordering reversed (structured, still
+        non-monotone).
+    ``"rcm"``
+        Reverse-Cuthill-McKee renumbering of cells and nodes with edges
+        sorted by their lowest renumbered cell -- the locality-*restoring*
+        permutation one would apply to a scrambled input mesh.
+
+    The returned mesh is undeclared; call :meth:`AirfoilMesh.declare` (or
+    hand it to ``run_airfoil``) as usual.  Solutions computed on it equal
+    the original's up to the cell permutation.
+    """
+    num_nodes, num_cells = mesh.num_nodes, mesh.num_cells
+    num_edges, num_bedges = mesh.num_edges, mesh.num_bedges
+    if method in ("shuffle", "scramble"):
+        rng = np.random.default_rng(seed)
+        node_perm = rng.permutation(num_nodes)
+        cell_perm = rng.permutation(num_cells)
+        if method == "scramble":
+            edge_order = rng.permutation(num_edges)
+            bedge_order = rng.permutation(num_bedges)
+        else:
+            edge_order = np.arange(num_edges, dtype=np.int64)
+            bedge_order = np.arange(num_bedges, dtype=np.int64)
+    elif method == "reverse":
+        node_perm = np.arange(num_nodes, dtype=np.int64)[::-1]
+        cell_perm = np.arange(num_cells, dtype=np.int64)[::-1]
+        edge_order = np.arange(num_edges, dtype=np.int64)[::-1]
+        bedge_order = np.arange(num_bedges, dtype=np.int64)[::-1]
+    elif method == "rcm":
+        cell_perm = reverse_cuthill_mckee(num_cells, mesh.edge_cells)
+        node_perm = reverse_cuthill_mckee(num_nodes, _cell_corner_pairs(mesh.cell_nodes))
+        edge_order = np.argsort(cell_perm[mesh.edge_cells].min(axis=1), kind="stable")
+        bedge_order = np.argsort(cell_perm[mesh.bedge_cell[:, 0]], kind="stable")
+    else:
+        raise MeshError(
+            f"unknown renumbering method {method!r}; choose from {RENUMBER_METHODS}"
+        )
+
+    node_coords = np.empty_like(mesh.node_coords)
+    node_coords[node_perm] = mesh.node_coords
+    cell_nodes = np.empty_like(mesh.cell_nodes)
+    cell_nodes[cell_perm] = node_perm[mesh.cell_nodes]
+
+    renumbered = AirfoilMesh(
+        nx=mesh.nx,
+        ny=mesh.ny,
+        node_coords=node_coords,
+        cell_nodes=cell_nodes,
+        edge_nodes=node_perm[mesh.edge_nodes][edge_order],
+        edge_cells=cell_perm[mesh.edge_cells][edge_order],
+        bedge_nodes=node_perm[mesh.bedge_nodes][bedge_order],
+        bedge_cell=cell_perm[mesh.bedge_cell][bedge_order],
+        bound=mesh.bound[bedge_order],
+    )
+    renumbered.validate()
+    return renumbered

@@ -12,7 +12,9 @@ from repro.bench.harness import (
     ExperimentConfig,
     ExperimentResult,
     run_airfoil_experiment,
+    run_renumbered_sweep,
     run_thread_sweep,
+    run_wallclock_comparison,
 )
 from repro.bench.figures import (
     figure15_execution_time,
@@ -31,6 +33,8 @@ __all__ = [
     "ExperimentResult",
     "run_airfoil_experiment",
     "run_thread_sweep",
+    "run_renumbered_sweep",
+    "run_wallclock_comparison",
     "figure15_execution_time",
     "figure16_strong_scaling",
     "figure17_chunk_sizes",

@@ -7,8 +7,14 @@ Airfoil workload under it and returns the simulated runtime / bandwidth;
 the :class:`~repro.sim.metrics.ScalingSeries` the figures are built from.
 
 Numerical results are cross-checked against the serial backend on every run
-(cheap insurance that the timing experiments always describe a *correct*
-execution).
+unless a caller explicitly opts out with ``check_correctness=False`` (cheap
+insurance that the timing experiments always describe a *correct*
+execution); each sweep point records its check outcome in the series.
+
+:func:`run_renumbered_sweep` is the scenario-diversity track: it runs the
+workload on renumbered (shuffled / reversed / RCM) meshes under both the
+interval-set and the ``[min, max]`` dependency trackers, reporting the
+dependency-edge counts and wall-clock side by side.
 """
 
 from __future__ import annotations
@@ -20,7 +26,8 @@ import numpy as np
 
 from repro.config import DEFAULTS
 from repro.errors import BenchmarkError
-from repro.apps.airfoil import generate_mesh, run_airfoil
+from repro.apps.airfoil import generate_mesh, renumber_mesh, run_airfoil
+from repro.apps.airfoil.mesh import AirfoilMesh
 from repro.op2.context import BackendReport, active_context
 from repro.op2.backends.hpx import hpx_context
 from repro.op2.backends.openmp import openmp_context
@@ -36,6 +43,7 @@ __all__ = [
     "run_airfoil_experiment",
     "run_thread_sweep",
     "run_wallclock_comparison",
+    "run_renumbered_sweep",
 ]
 
 #: default thread counts of the paper's figures (HT enabled after 16)
@@ -74,9 +82,12 @@ class ExperimentConfig:
     prefetch: bool = False
     prefetch_distance_factor: int = DEFAULTS.prefetch_distance_factor
     interleave: bool = True
+    interval_sets: bool = True  # exact chunk access summaries (hpx only)
     machine_preset: str = "paper-testbed"
     execution: str = "simulate"  # "simulate" or "threads" (real worker pool)
     workload: AirfoilWorkload = field(default_factory=AirfoilWorkload)
+    renumbering: Optional[str] = None  # "shuffle" / "reverse" / "rcm" mesh renumbering
+    renumber_seed: int = 0
 
     def label(self) -> str:
         """Series label used in reports."""
@@ -88,7 +99,11 @@ class ExperimentConfig:
                 parts.append("persistent_auto_chunk_size")
             if self.prefetch:
                 parts.append(f"prefetch(d={self.prefetch_distance_factor})")
+            if not self.interval_sets:
+                parts.append("minmax_intervals")
             label = " + ".join(parts)
+        if self.renumbering is not None:
+            label += f" [{self.renumbering} mesh]"
         if self.execution == "threads":
             label += " [threads]"
         return label
@@ -118,15 +133,38 @@ class ExperimentResult:
         """Measured wall-clock time of the run's numerical execution."""
         return self.report.wall_seconds
 
+    @property
+    def dependency_edges(self) -> int:
+        """Number of chunk-level dependency edges in the run's DAG."""
+        return self.report.dependency_edges
 
-def _reference_q(workload: AirfoilWorkload) -> tuple[np.ndarray, float]:
-    """Serial reference solution for a workload (cached per workload)."""
-    key = (workload.nx, workload.ny, workload.niter, workload.rk_steps)
+
+def _build_mesh(config: ExperimentConfig) -> AirfoilMesh:
+    """Generate (and optionally renumber) the mesh of an experiment."""
+    mesh = generate_mesh(config.workload.nx, config.workload.ny)
+    if config.renumbering is not None:
+        mesh = renumber_mesh(mesh, method=config.renumbering, seed=config.renumber_seed)
+    return mesh
+
+
+def _reference_q(config: ExperimentConfig) -> tuple[np.ndarray, float]:
+    """Serial reference solution for a (workload, renumbering) combination."""
+    workload = config.workload
+    key = (
+        workload.nx,
+        workload.ny,
+        workload.niter,
+        workload.rk_steps,
+        config.renumbering,
+        # the seed is meaningless without a renumbering: normalize it so
+        # identical un-renumbered meshes share one reference entry
+        config.renumber_seed if config.renumbering is not None else 0,
+    )
     cached = _reference_cache.get(key)
     if cached is not None:
         return cached
     clear_plan_cache()
-    mesh = generate_mesh(workload.nx, workload.ny)
+    mesh = _build_mesh(config)
     with active_context(serial_context()):
         result = run_airfoil(mesh, niter=workload.niter, rk_steps=workload.rk_steps)
     _reference_cache[key] = (result.q, result.final_rms)
@@ -152,6 +190,7 @@ def _make_context(config: ExperimentConfig):
             prefetch=config.prefetch,
             prefetch_distance_factor=config.prefetch_distance_factor,
             interleave=config.interleave,
+            interval_sets=config.interval_sets,
             execution=config.execution,
         )
     raise BenchmarkError(f"unknown benchmark backend {config.backend!r}")
@@ -161,7 +200,7 @@ def run_airfoil_experiment(config: ExperimentConfig, *, check_correctness: bool 
     """Run the Airfoil workload under ``config`` and return its result."""
     workload = config.workload
     clear_plan_cache()
-    mesh = generate_mesh(workload.nx, workload.ny)
+    mesh = _build_mesh(config)
     context = _make_context(config)
     with active_context(context):
         app_result = run_airfoil(mesh, niter=workload.niter, rk_steps=workload.rk_steps)
@@ -169,7 +208,7 @@ def run_airfoil_experiment(config: ExperimentConfig, *, check_correctness: bool 
 
     correct = True
     if check_correctness:
-        reference_q, _reference_rms = _reference_q(workload)
+        reference_q, _reference_rms = _reference_q(config)
         correct = bool(np.allclose(app_result.q, reference_q, rtol=1e-10, atol=1e-12))
     return ExperimentResult(
         config=config,
@@ -205,9 +244,14 @@ def run_thread_sweep(
     base_config: ExperimentConfig,
     *,
     threads: Sequence[int] = DEFAULT_THREADS,
-    check_correctness: bool = False,
+    check_correctness: bool = True,
 ) -> tuple[ScalingSeries, BandwidthSeries]:
-    """Run ``base_config`` across ``threads``; return time and bandwidth series."""
+    """Run ``base_config`` across ``threads``; return time and bandwidth series.
+
+    Every point is cross-checked against the (cached) serial reference by
+    default, and the outcome lands in ``ScalingSeries.correct`` so figure
+    code can refuse to plot an incorrect run.
+    """
     if not threads:
         raise BenchmarkError("the thread sweep needs at least one thread count")
     times = ScalingSeries(label=base_config.label())
@@ -215,6 +259,55 @@ def run_thread_sweep(
     for count in threads:
         config = replace(base_config, num_threads=count)
         result = run_airfoil_experiment(config, check_correctness=check_correctness)
-        times.record(count, result.runtime_seconds)
+        times.record(count, result.runtime_seconds, correct=result.numerically_correct)
         bandwidth.record(count, result.bandwidth_gbs)
     return times, bandwidth
+
+
+def run_renumbered_sweep(
+    base_config: Optional[ExperimentConfig] = None,
+    *,
+    renumberings: Sequence[str] = ("shuffle",),
+    seed: int = 0,
+    check_correctness: bool = True,
+) -> dict[str, dict[str, dict[str, float]]]:
+    """Compare interval-set vs ``[min, max]`` dependency tracking on
+    renumbered meshes.
+
+    For every renumbering method (plus the original ``"none"`` numbering)
+    the Airfoil workload runs twice on the HPX backend -- once with exact
+    interval-set chunk summaries and once with the conservative single
+    ``[min, max]`` interval -- and the result records the dependency-edge
+    count of the chunk DAG, the simulated makespan, the measured wall-clock
+    time and the serial cross-check outcome:
+
+    ``{"shuffle": {"interval_set": {"dependency_edges": ..., ...},
+    "minmax": {...}}, ...}``
+
+    Interval sets can only remove edges, so ``dependency_edges`` of
+    ``interval_set`` is <= that of ``minmax`` everywhere, and strictly lower
+    on shuffled meshes.
+    """
+    if base_config is None:
+        base_config = ExperimentConfig(backend="hpx", num_threads=4, execution="threads")
+    if base_config.backend != "hpx":
+        raise BenchmarkError("the renumbered sweep compares dependency trackers; use backend='hpx'")
+    sweep: dict[str, dict[str, dict[str, float]]] = {}
+    for renumbering in (None, *renumberings):
+        entry: dict[str, dict[str, float]] = {}
+        for mode, interval_sets in (("interval_set", True), ("minmax", False)):
+            config = replace(
+                base_config,
+                interval_sets=interval_sets,
+                renumbering=renumbering,
+                renumber_seed=seed,
+            )
+            result = run_airfoil_experiment(config, check_correctness=check_correctness)
+            entry[mode] = {
+                "dependency_edges": float(result.dependency_edges),
+                "makespan_seconds": result.runtime_seconds,
+                "wall_seconds": result.wall_seconds,
+                "numerically_correct": float(result.numerically_correct),
+            }
+        sweep[renumbering or "none"] = entry
+    return sweep

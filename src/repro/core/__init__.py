@@ -23,7 +23,7 @@ off (used by the ablation benchmarks).
 from repro.core.optimizer import OptimizationConfig
 from repro.core.executor import HPXContext, hpx_context
 from repro.core.futures_args import FutureArg, op_arg_dat_async
-from repro.core.interleaving import AccessInterval, DependencyTracker
+from repro.core.interleaving import AccessRecord, DependencyTracker
 from repro.core.persistent_chunking import ChunkPlanner
 from repro.core.prefetch_integration import build_prefetch_spec, make_loop_prefetcher
 
@@ -33,7 +33,7 @@ __all__ = [
     "hpx_context",
     "FutureArg",
     "op_arg_dat_async",
-    "AccessInterval",
+    "AccessRecord",
     "DependencyTracker",
     "ChunkPlanner",
     "build_prefetch_spec",

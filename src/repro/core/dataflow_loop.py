@@ -227,3 +227,15 @@ class DataflowLoopRunner:
     def total_dependencies(self) -> int:
         """Total number of chunk-level dependency edges generated so far."""
         return sum(record.dependency_count for record in self.records)
+
+    def dependency_edges_by_loop(self) -> dict[str, int]:
+        """Dependency-edge totals aggregated per loop name.
+
+        The per-loop breakdown is what the renumbered-mesh benchmarks report:
+        it shows exactly which loops the interval-set tracker relieves of
+        false edges relative to ``[min, max]`` mode.
+        """
+        edges: dict[str, int] = {}
+        for record in self.records:
+            edges[record.name] = edges.get(record.name, 0) + record.dependency_count
+        return edges

@@ -78,6 +78,7 @@ class HPXContext(ExecutionContext):
         prefetch: bool = False,
         prefetch_distance_factor: Optional[int] = None,
         interleave: bool = True,
+        interval_sets: bool = True,
         async_tasking: bool = True,
         config: Optional[OptimizationConfig] = None,
         prefer_vectorized: bool = True,
@@ -122,6 +123,7 @@ class HPXContext(ExecutionContext):
         # serial-matching results.
         self.tracker = DependencyTracker(
             chunk_granularity=self.config.interleaving,
+            interval_sets=interval_sets,
             strict_commit_order=(execution == "threads"),
         )
         self.planner = ChunkPlanner(self.cost_model, num_threads, policy=chunking)
@@ -224,6 +226,8 @@ class HPXContext(ExecutionContext):
                 "chunking": "persistent_auto" if self.planner.is_persistent else "auto",
                 "total_chunks": self.runner.total_chunks(),
                 "total_dependencies": self.runner.total_dependencies(),
+                "dependency_mode": self.tracker.mode,
+                "dependency_edges_by_loop": self.runner.dependency_edges_by_loop(),
                 "tracked_dats": self.tracker.tracked_dats(),
             },
         )

@@ -3,19 +3,27 @@
 Because every loop's output dat is a future, a *consumer* loop does not have
 to wait for the whole *producer* loop -- only for the chunks that actually
 produced the data it reads.  :class:`DependencyTracker` maintains, per dat,
-which chunk-tasks last wrote which element ranges (and which have read them
+which chunk-tasks last wrote which elements (and which have read them
 since), and answers "which existing tasks must chunk ``[start, stop)`` of
 this new loop wait for?".
 
-Dependencies are computed on conservative element *intervals*
-(:class:`AccessInterval`): a chunk's indirect accesses through a map are
-summarised by the min/max target element it touches.  Overlapping intervals
-⇒ dependency, with one important exception: **increment-on-increment never
-orders** -- OP_INC accumulations commute, so two chunks that both increment a
-dat (whether they belong to the same loop or to consecutive accumulation
-loops such as ``res_calc`` followed by ``bres_calc``) may run concurrently.
-A later *reader* of the dat still depends on every chunk of the accumulation
-layer.
+Dependencies are computed on element
+:class:`~repro.op2.intervals.IntervalSet` summaries: a chunk's indirect
+accesses through a map are decomposed into sorted disjoint runs (computed
+once per chunk per map slot and cached on the :class:`~repro.op2.map.OpMap`
+keyed by its version counter), so chunks whose target sets are disjoint get
+no edge even on shuffled or renumbered meshes.  ``interval_sets=False``
+falls back to the single conservative ``[min, max]`` hull per chunk -- the
+original representation, kept as the comparison baseline for the
+renumbered-mesh benchmarks; its edges are always a superset of the
+interval-set edges.
+
+Overlapping accesses ⇒ dependency, with one important exception:
+**increment-on-increment never orders** -- OP_INC accumulations commute, so
+two chunks that both increment a dat (whether they belong to the same loop
+or to consecutive accumulation loops such as ``res_calc`` followed by
+``bres_calc``) may run concurrently.  A later *reader* of the dat still
+depends on every chunk of the accumulation layer.
 """
 
 from __future__ import annotations
@@ -23,38 +31,36 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.errors import OP2Error
 from repro.op2.access import AccessMode
 from repro.op2.args import OpArg
+from repro.op2.intervals import IntervalSet
 from repro.op2.par_loop import ParLoop
 
-__all__ = ["AccessInterval", "DependencyTracker"]
+__all__ = ["AccessRecord", "DependencyTracker"]
 
 
 @dataclass(frozen=True)
-class AccessInterval:
-    """A task's access to one dat, summarised as an inclusive element interval."""
+class AccessRecord:
+    """A task's access to one dat, summarised as an element interval set."""
 
     task_id: int
-    lo: int
-    hi: int
+    intervals: IntervalSet
     #: program-order sequence of the loop the chunk belongs to (-1 when unknown)
     loop_seq: int = -1
 
-    def overlaps(self, lo: int, hi: int) -> bool:
-        """True if ``[lo, hi]`` intersects this interval."""
-        return not (hi < self.lo or lo > self.hi)
+    @property
+    def lo(self) -> int:
+        """Smallest element touched."""
+        return self.intervals.lo
 
+    @property
+    def hi(self) -> int:
+        """Largest element touched."""
+        return self.intervals.hi
 
-def _interval_for_arg(arg: OpArg, start: int, stop: int) -> tuple[int, int]:
-    """Inclusive element interval of ``arg``'s dat touched by iterations [start, stop)."""
-    if stop <= start:
-        raise OP2Error(f"empty iteration range [{start}, {stop})")
-    if arg.is_direct:
-        return start, stop - 1
-    assert arg.map is not None
-    targets = arg.map.values[start:stop, arg.map_index]  # type: ignore[union-attr]
-    return int(targets.min()), int(targets.max())
+    def overlaps(self, summary: IntervalSet) -> bool:
+        """True if ``summary`` intersects this record's accesses."""
+        return self.intervals.overlaps(summary)
 
 
 @dataclass
@@ -74,10 +80,10 @@ class _DatHistory:
     writer_loop_seq: int = -1
     #: True while the current writer layer is an OP_INC accumulation
     accumulating: bool = False
-    writers: list[AccessInterval] = field(default_factory=list)
-    readers: list[AccessInterval] = field(default_factory=list)
-    prev_writers: list[AccessInterval] = field(default_factory=list)
-    prev_readers: list[AccessInterval] = field(default_factory=list)
+    writers: list[AccessRecord] = field(default_factory=list)
+    readers: list[AccessRecord] = field(default_factory=list)
+    prev_writers: list[AccessRecord] = field(default_factory=list)
+    prev_readers: list[AccessRecord] = field(default_factory=list)
 
 
 class DependencyTracker:
@@ -90,6 +96,11 @@ class DependencyTracker:
         based; when ``False`` a consumer chunk depends on *every* recorded
         writer/reader chunk of the dats it touches (loop-granular edges --
         the ablation baseline).
+    interval_sets:
+        When ``True`` (default) indirect chunk accesses are summarised
+        exactly as disjoint runs; when ``False`` each chunk keeps only its
+        conservative ``[min, max]`` hull, reproducing the original tracker
+        for comparison on renumbered meshes.
     strict_commit_order:
         Extra edges the *threaded* engine needs because chunk effects really
         commit asynchronously: (a) increment chunks depend on overlapping
@@ -103,14 +114,39 @@ class DependencyTracker:
     """
 
     def __init__(
-        self, *, chunk_granularity: bool = True, strict_commit_order: bool = False
+        self,
+        *,
+        chunk_granularity: bool = True,
+        interval_sets: bool = True,
+        strict_commit_order: bool = False,
     ) -> None:
         self.chunk_granularity = chunk_granularity
+        self.interval_sets = interval_sets
         self.strict_commit_order = strict_commit_order
         self._history: dict[int, _DatHistory] = {}
 
     def _history_for(self, dat_id: int) -> _DatHistory:
         return self._history.setdefault(dat_id, _DatHistory())
+
+    def _summary_for_arg(self, arg: OpArg, start: int, stop: int) -> IntervalSet:
+        """Element interval set of ``arg``'s dat touched by iterations [start, stop).
+
+        Direct arguments touch exactly ``[start, stop)``; indirect arguments
+        use the map's cached per-chunk summary, collapsed to its hull in
+        ``[min, max]`` mode.
+        """
+        if arg.is_direct:
+            return IntervalSet.from_range(start, stop - 1)
+        assert arg.map is not None
+        summary = arg.map.chunk_summary(arg.map_index, start, stop)  # type: ignore[union-attr]
+        return summary if self.interval_sets else summary.hull()
+
+    @property
+    def mode(self) -> str:
+        """Human-readable dependency-edge mode (used in backend reports)."""
+        if not self.chunk_granularity:
+            return "loop-granular"
+        return "interval-set" if self.interval_sets else "minmax"
 
     # -- querying dependencies ----------------------------------------------------
     def chunk_dependencies(
@@ -118,7 +154,7 @@ class DependencyTracker:
     ) -> list[int]:
         """Task ids a chunk ``[start, stop)`` of ``loop`` must wait for.
 
-        Standard RAW/WAR/WAW handling on conservative intervals, except that
+        Standard RAW/WAR/WAW handling on access summaries, except that
         increment chunks never depend on the other chunks of the same
         accumulation layer (increments commute).  Every chunk is additionally
         ordered against the overlapping records of the layer its own layer
@@ -132,57 +168,59 @@ class DependencyTracker:
                 continue
             assert arg.dat is not None
             history = self._history_for(arg.dat.dat_id)
-            lo, hi = _interval_for_arg(arg, start, stop)
+            summary = self._summary_for_arg(arg, start, stop)
             same_layer = history.writer_loop_seq == loop_seq and loop_seq >= 0
             if arg.access is AccessMode.INC:
                 # An increment joins the accumulation layer: it must wait for
                 # whatever *non-increment* writer produced the current values
                 # (and for readers, WAR), but not for fellow increments.
                 if not history.accumulating:
-                    deps.update(self._matching(history.writers, lo, hi))
+                    deps.update(self._matching(history.writers, summary))
                 else:
                     if self.strict_commit_order:
                         # Threaded determinism: order this chunk after increment
                         # chunks contributed by *earlier* loops of the layer.
                         deps.update(
                             record.task_id
-                            for record in self._matching_records(history.writers, lo, hi)
+                            for record in self._matching_records(history.writers, summary)
                             if record.loop_seq != loop_seq
                         )
                     # Joining an existing accumulation layer: the non-INC
                     # writer it displaced is this chunk's true producer.
-                    deps.update(self._matching(history.prev_writers, lo, hi))
-                    deps.update(self._matching(history.prev_readers, lo, hi))
-                deps.update(self._matching(history.readers, lo, hi))
+                    deps.update(self._matching(history.prev_writers, summary))
+                    deps.update(self._matching(history.prev_readers, summary))
+                deps.update(self._matching(history.readers, summary))
                 continue
             if arg.access.reads or arg.access.writes:
                 if not (same_layer and arg.access.writes and not arg.access.reads):
-                    deps.update(self._matching(history.writers, lo, hi))
+                    deps.update(self._matching(history.writers, summary))
                 if self.strict_commit_order and not arg.access.writes:
                     # Pure readers also stay ordered against the displaced
                     # layer: the current layer may not (yet) cover this range,
                     # in which case the true producer is a prev-layer writer.
-                    deps.update(self._matching(history.prev_writers, lo, hi))
+                    deps.update(self._matching(history.prev_writers, summary))
             if arg.access.writes:
-                deps.update(self._matching(history.readers, lo, hi))
+                deps.update(self._matching(history.readers, summary))
                 if same_layer:
                     # Later chunks of the loop that displaced the layer: their
                     # producers (RAW/WAW) and the readers they must not
                     # overtake (WAR) live in the displaced layer, which
                     # ``history.writers``/``readers`` no longer contain.
-                    deps.update(self._matching(history.prev_writers, lo, hi))
-                    deps.update(self._matching(history.prev_readers, lo, hi))
+                    deps.update(self._matching(history.prev_writers, summary))
+                    deps.update(self._matching(history.prev_readers, summary))
         return sorted(deps)
 
-    def _matching(self, intervals: Sequence[AccessInterval], lo: int, hi: int) -> list[int]:
-        return [record.task_id for record in self._matching_records(intervals, lo, hi)]
+    def _matching(
+        self, records: Sequence[AccessRecord], summary: IntervalSet
+    ) -> list[int]:
+        return [record.task_id for record in self._matching_records(records, summary)]
 
     def _matching_records(
-        self, intervals: Sequence[AccessInterval], lo: int, hi: int
-    ) -> list[AccessInterval]:
+        self, records: Sequence[AccessRecord], summary: IntervalSet
+    ) -> list[AccessRecord]:
         if self.chunk_granularity:
-            return [record for record in intervals if record.overlaps(lo, hi)]
-        return list(intervals)
+            return [record for record in records if record.overlaps(summary)]
+        return list(records)
 
     # -- recording a scheduled chunk -------------------------------------------------
     def record_chunk(
@@ -198,15 +236,17 @@ class DependencyTracker:
         transitively through already-recorded edges).  Increment chunks
         extend the current accumulation layer instead.
 
-        Must be called *after* :meth:`chunk_dependencies` for the same chunk.
+        Must be called *after* :meth:`chunk_dependencies` for the same chunk
+        (the per-arg summaries are shared through the map-level cache, so the
+        second computation is a dictionary hit, not a re-scan).
         """
         for arg in loop.args:
             if arg.is_global:
                 continue
             assert arg.dat is not None
             history = self._history_for(arg.dat.dat_id)
-            lo, hi = _interval_for_arg(arg, start, stop)
-            record = AccessInterval(task_id=task_id, lo=lo, hi=hi, loop_seq=loop_seq)
+            summary = self._summary_for_arg(arg, start, stop)
+            record = AccessRecord(task_id=task_id, intervals=summary, loop_seq=loop_seq)
             if arg.access is AccessMode.INC:
                 if not history.accumulating:
                     # Begin a new accumulation layer on top of whatever was
@@ -235,11 +275,11 @@ class DependencyTracker:
         """Number of dats with recorded access history."""
         return len(self._history)
 
-    def writer_records(self, dat_id: int) -> list[AccessInterval]:
+    def writer_records(self, dat_id: int) -> list[AccessRecord]:
         """Current writer layer of a dat (for tests/inspection)."""
         return list(self._history_for(dat_id).writers)
 
-    def reader_records(self, dat_id: int) -> list[AccessInterval]:
+    def reader_records(self, dat_id: int) -> list[AccessRecord]:
         """Reader records since the last writer layer of a dat."""
         return list(self._history_for(dat_id).readers)
 

@@ -21,6 +21,7 @@ Loops are executed by a *backend* selected through an execution context:
 """
 
 from repro.op2.access import OP_ID, OP_INC, OP_MAX, OP_MIN, OP_READ, OP_RW, OP_WRITE, AccessMode
+from repro.op2.intervals import IntervalSet
 from repro.op2.set import OpSet, op_decl_set
 from repro.op2.map import OpMap, op_decl_map
 from repro.op2.dat import OpDat, op_decl_dat
@@ -39,6 +40,7 @@ __all__ = [
     "OP_MIN",
     "OP_MAX",
     "OP_ID",
+    "IntervalSet",
     "OpSet",
     "op_decl_set",
     "OpMap",

@@ -71,6 +71,17 @@ class BackendReport:
         """Simulated achieved memory bandwidth of the run."""
         return self.schedule.achieved_bandwidth_gbs if self.schedule is not None else 0.0
 
+    @property
+    def dependency_edges(self) -> int:
+        """Number of chunk-level dependency edges in the run's DAG.
+
+        Prefers the scheduled graph's count; falls back to the tracker total
+        the HPX context stores in ``details`` when no schedule was produced.
+        """
+        if self.schedule is not None and self.schedule.dependency_edges:
+            return self.schedule.dependency_edges
+        return int(self.details.get("total_dependencies", 0))
+
 
 class ExecutionContext:
     """Base class of every backend context."""

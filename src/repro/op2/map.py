@@ -15,17 +15,31 @@ from typing import Sequence
 import numpy as np
 
 from repro.errors import OP2DeclarationError, OP2MappingError
+from repro.op2.intervals import IntervalSet
 from repro.op2.set import OpSet
 
 __all__ = ["OpMap", "op_decl_map"]
 
 _map_ids = itertools.count()
 
+#: cap on cached per-chunk target summaries per map (chunk boundaries are
+#: stable across time-step iterations, so real workloads stay far below this)
+_SUMMARY_CACHE_LIMIT = 16384
+
 
 class OpMap:
     """A mapping from ``from_set`` to ``to_set`` with ``dim`` targets per element."""
 
-    __slots__ = ("map_id", "from_set", "to_set", "dim", "values", "name", "_version")
+    __slots__ = (
+        "map_id",
+        "from_set",
+        "to_set",
+        "dim",
+        "values",
+        "name",
+        "_version",
+        "_chunk_summaries",
+    )
 
     def __init__(
         self,
@@ -45,6 +59,7 @@ class OpMap:
         self.dim = dim
         self.name = name or f"map_{self.map_id}"
         self._version = 0
+        self._chunk_summaries: dict[tuple[int, int, int, int], IntervalSet] = {}
         self.values = self._validated(values)
 
     def _validated(self, values: Sequence[int] | np.ndarray) -> np.ndarray:
@@ -82,10 +97,38 @@ class OpMap:
         self._version += 1
         return self._version
 
+    def chunk_summary(self, map_index: int, start: int, stop: int) -> IntervalSet:
+        """Interval set of target elements touched by slot ``map_index`` of
+        iterations ``[start, stop)``.
+
+        Cached keyed on the version counter, so the scan over ``values`` is
+        paid once per (chunk, slot) per connectivity -- time-stepping loops
+        re-ask for the same chunks every iteration.
+        """
+        if not 0 <= map_index < self.dim:
+            raise OP2MappingError(
+                f"map {self.name!r}: slot {map_index} outside [0, {self.dim})"
+            )
+        if not 0 <= start < stop <= self.from_set.size:
+            raise OP2MappingError(
+                f"map {self.name!r}: chunk [{start}, {stop}) outside "
+                f"[0, {self.from_set.size})"
+            )
+        key = (self._version, map_index, start, stop)
+        summary = self._chunk_summaries.get(key)
+        if summary is None:
+            summary = IntervalSet.from_targets(self.values[start:stop, map_index])
+            if len(self._chunk_summaries) >= _SUMMARY_CACHE_LIMIT:
+                self._chunk_summaries.clear()
+            self._chunk_summaries[key] = summary
+        return summary
+
     def set_values(self, values: Sequence[int] | np.ndarray) -> None:
         """Replace the connectivity (validated); bumps the version so cached
-        execution plans keyed on this map are recomputed."""
+        execution plans and chunk summaries computed from the old
+        connectivity are recomputed."""
         self.values = self._validated(values)
+        self._chunk_summaries.clear()
         self.bump_version()
 
     def targets(self, element: int) -> np.ndarray:

@@ -94,7 +94,12 @@ class ExecutionPlan:
             raise OP2PlanError("block colour exceeds declared colour count")
 
 
-_plan_cache: dict[tuple, ExecutionPlan] = {}
+# Keyed on the version-*insensitive* identity of the (loop, block size)
+# combination; the value remembers which map versions the plan was computed
+# from.  Renumbering a map (OpMap.set_values) therefore *replaces* the entry
+# on the next op_plan_get instead of leaking one full ExecutionPlan per
+# superseded version.
+_plan_cache: dict[tuple, tuple[tuple, ExecutionPlan]] = {}
 
 
 def clear_plan_cache() -> None:
@@ -116,23 +121,29 @@ def _indirect_write_args(args: Sequence[OpArg]) -> list[OpArg]:
     ]
 
 
-def _cache_key(iterset: OpSet, block_size: int, args: Sequence[OpArg]) -> tuple:
+def _cache_key(iterset: OpSet, block_size: int, args: Sequence[OpArg]) -> tuple[tuple, tuple]:
+    """``(identity, versions)`` cache key of a (loop, block size) combination.
+
+    The map versions are kept separate from the identity: renumbering a
+    map's values (OpMap.set_values) must invalidate any colouring computed
+    from the old connectivity -- exactly like OpDat.bump_version for data --
+    but the superseded entry is *evicted*, not kept alongside the new one.
+    """
     arg_keys = []
+    versions = []
     for arg in _indirect_write_args(args):
         assert arg.dat is not None and arg.map is not None
-        # The map's version is part of the key: renumbering a map's values
-        # (OpMap.set_values) must invalidate any colouring computed from the
-        # old connectivity, exactly like OpDat.bump_version for data.
         arg_keys.append(
             (
                 arg.dat.dat_id,
                 arg.map.map_id,  # type: ignore[union-attr]
-                arg.map.version,  # type: ignore[union-attr]
                 arg.map_index,
                 arg.access.value,
             )
         )
-    return (iterset.set_id, iterset.size, block_size, tuple(arg_keys))
+        versions.append(arg.map.version)  # type: ignore[union-attr]
+    identity = (iterset.set_id, iterset.size, block_size, tuple(arg_keys))
+    return identity, tuple(versions)
 
 
 def _color_blocks(
@@ -205,10 +216,10 @@ def op_plan_get(
     """
     if block_size <= 0:
         raise OP2PlanError(f"loop {name!r}: block size must be positive, got {block_size}")
-    key = _cache_key(iterset, block_size, args)
-    cached = _plan_cache.get(key)
-    if cached is not None:
-        return cached
+    identity, versions = _cache_key(iterset, block_size, args)
+    entry = _plan_cache.get(identity)
+    if entry is not None and entry[0] == versions:
+        return entry[1]
 
     size = iterset.size
     nblocks = (size + block_size - 1) // block_size if size else 0
@@ -229,5 +240,5 @@ def op_plan_get(
         ncolors=ncolors if nblocks else 0,
     )
     plan.validate()
-    _plan_cache[key] = plan
+    _plan_cache[identity] = (versions, plan)  # replaces any superseded version
     return plan

@@ -80,6 +80,8 @@ class PoolExecutor:
         self._ready: deque[int] = deque()
         self._pending = 0
         self._failure: Optional[BaseException] = None
+        #: True once the latched failure was re-raised from a timed-out wait
+        self._failure_delivered = False
         self._shutdown = False
         self.trace_events: Optional[list[tuple[str, int]]] = [] if trace else None
         self._workers = [
@@ -120,16 +122,23 @@ class PoolExecutor:
         with self._cond:
             if self._shutdown:
                 raise RuntimeStateError("pool executor has been shut down")
-            task_id = next(self._ids)
-            node = _TaskNode(fn, on_skip)
+            # Validate every dep id before touching any dependents list: a
+            # mid-loop raise would leave earlier deps pointing at a task never
+            # added to _tasks, and their completion would then KeyError inside
+            # the worker loop, killing the worker and hanging wait_all.
+            dep_nodes: list[_TaskNode] = []
             for dep in set(deps):
                 if dep in self._done:
                     continue
                 dep_node = self._tasks.get(dep)
                 if dep_node is None:
                     raise SchedulerError(f"task depends on unknown task id {dep}")
+                dep_nodes.append(dep_node)
+            task_id = next(self._ids)
+            node = _TaskNode(fn, on_skip)
+            node.remaining = len(dep_nodes)
+            for dep_node in dep_nodes:
                 dep_node.dependents.append(task_id)
-                node.remaining += 1
             self._tasks[task_id] = node
             self._pending += 1
             if node.remaining == 0:
@@ -178,12 +187,23 @@ class PoolExecutor:
         """
         with self._cond:
             if not self._cond.wait_for(lambda: self._pending == 0, timeout=timeout):
+                # A latched task failure explains the stall better than the
+                # timeout does.  It stays latched -- tasks are still pending,
+                # so clearing it would un-poison the pool and let dependents
+                # of the failed task run against its missing output -- but it
+                # is marked delivered so the next drained barrier does not
+                # re-raise it as a stale exception from this run.
+                failure = self._failure
+                if failure is not None and not self._failure_delivered:
+                    self._failure_delivered = True
+                    raise failure
                 raise RuntimeStateError(
                     f"pool executor still has {self._pending} pending tasks after "
                     f"{timeout}s"
                 )
             failure, self._failure = self._failure, None
-        if failure is not None:
+            delivered, self._failure_delivered = self._failure_delivered, False
+        if failure is not None and not delivered:
             raise failure
 
     def cancel_pending(self) -> None:

@@ -61,14 +61,22 @@ class ScalingSeries:
 
     label: str
     times: dict[int, float] = field(default_factory=dict)
+    #: per-point outcome of the serial cross-check (True when unchecked)
+    correct: dict[int, bool] = field(default_factory=dict)
 
-    def record(self, threads: int, seconds: float) -> None:
-        """Record one data point."""
+    def record(self, threads: int, seconds: float, *, correct: bool = True) -> None:
+        """Record one data point (and whether it matched the serial reference)."""
         if threads <= 0:
             raise BenchmarkError("thread count must be positive")
         if seconds <= 0:
             raise BenchmarkError("runtime must be positive")
         self.times[threads] = seconds
+        self.correct[threads] = bool(correct)
+
+    @property
+    def all_correct(self) -> bool:
+        """True when every recorded point passed its correctness check."""
+        return all(self.correct.values())
 
     @property
     def thread_counts(self) -> list[int]:

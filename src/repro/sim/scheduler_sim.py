@@ -151,6 +151,10 @@ class TaskGraph:
         """Total bytes moved by all tasks."""
         return sum(t.cost.bytes_moved for t in self.tasks)
 
+    def total_edges(self) -> int:
+        """Total number of dependency edges in the DAG."""
+        return sum(len(t.deps) for t in self.tasks)
+
     def critical_path_seconds(self) -> float:
         """Length of the longest dependency chain (lower bound of any schedule)."""
         longest: list[float] = [0.0] * len(self.tasks)
@@ -196,6 +200,9 @@ class ScheduleResult:
     critical_path_seconds: float
     contention_factor: float
     phase_end_times: dict[int, float] = field(default_factory=dict)
+    #: number of dependency edges in the scheduled DAG (0 in BARRIER mode
+    #: graphs, whose ordering lives in the phase structure instead)
+    dependency_edges: int = 0
 
     @property
     def achieved_bandwidth_gbs(self) -> float:
@@ -441,4 +448,5 @@ def simulate_schedule(
         critical_path_seconds=graph.critical_path_seconds(),
         contention_factor=contention,
         phase_end_times=phase_ends,
+        dependency_edges=graph.total_edges(),
     )

@@ -1,0 +1,317 @@
+"""Interval-set dependency tracking: IntervalSet, map summaries, renumbering.
+
+Covers the exact chunk access summaries (``repro.op2.intervals``), their
+cache on :class:`~repro.op2.map.OpMap`, the interval-set vs ``[min, max]``
+tracker modes, the version-evicting plan cache, and the mesh renumbering
+utilities that stress all of it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.apps.airfoil import generate_mesh, renumber_mesh, reverse_cuthill_mckee, run_airfoil
+from repro.core import DependencyTracker
+from repro.errors import MeshError, OP2Error, OP2MappingError
+from repro.op2 import (
+    OP_ID,
+    OP_READ,
+    OP_WRITE,
+    IntervalSet,
+    Kernel,
+    op_arg_dat,
+    op_decl_dat,
+    op_decl_map,
+    op_decl_set,
+    op_plan_get,
+)
+from repro.op2.access import AccessMode
+from repro.op2.backends.serial import serial_context
+from repro.op2.context import active_context
+from repro.op2.par_loop import ParLoop
+from repro.op2.plan import clear_plan_cache, plan_cache_size
+
+
+# ---------------------------------------------------------------------------
+# IntervalSet
+# ---------------------------------------------------------------------------
+class TestIntervalSet:
+    def test_from_targets_builds_disjoint_runs(self):
+        s = IntervalSet.from_targets([7, 3, 4, 5, 9, 9, 0])
+        assert s.runs() == [(0, 0), (3, 5), (7, 7), (9, 9)]
+        assert s.lo == 0 and s.hi == 9
+        assert s.num_runs == 4 and s.count == 6
+
+    def test_from_targets_merges_contiguous(self):
+        s = IntervalSet.from_targets(np.arange(10, 20))
+        assert s.runs() == [(10, 19)]
+
+    def test_empty_targets_rejected(self):
+        with pytest.raises(OP2Error):
+            IntervalSet.from_targets(np.empty(0, dtype=np.int64))
+
+    def test_from_range_validates(self):
+        with pytest.raises(OP2Error):
+            IntervalSet.from_range(5, 4)
+        assert IntervalSet.from_range(3, 3).runs() == [(3, 3)]
+
+    def test_overlap_and_disjoint(self):
+        evens = IntervalSet.from_targets(np.arange(0, 100, 2))
+        odds = IntervalSet.from_targets(np.arange(1, 100, 2))
+        assert evens.isdisjoint(odds)
+        assert not evens.overlaps(odds)
+        assert evens.overlaps(IntervalSet.from_range(10, 11))
+        # ...while the hulls of course overlap
+        assert evens.hull().overlaps(odds.hull())
+
+    def test_overlaps_range_and_contains(self):
+        s = IntervalSet.from_targets([2, 3, 10, 11])
+        assert s.overlaps_range(4, 10)
+        assert not s.overlaps_range(4, 9)
+        assert s.contains(11) and not s.contains(5)
+
+    def test_hull_spans_everything(self):
+        s = IntervalSet.from_targets([0, 50, 99])
+        hull = s.hull()
+        assert hull.runs() == [(0, 99)]
+        assert hull.hull() is hull  # single-run hull is idempotent
+
+    def test_block_mask_fast_path_agrees_with_exact_test(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            a = IntervalSet.from_targets(rng.integers(0, 500, size=rng.integers(1, 40)))
+            b = IntervalSet.from_targets(rng.integers(0, 500, size=rng.integers(1, 40)))
+            exact = bool(set(np.concatenate([np.arange(lo, hi + 1) for lo, hi in a.runs()]))
+                         & set(np.concatenate([np.arange(lo, hi + 1) for lo, hi in b.runs()])))
+            assert a.overlaps(b) == exact
+            assert b.overlaps(a) == exact
+
+    def test_equality_and_hash(self):
+        a = IntervalSet.from_targets([1, 2, 3])
+        b = IntervalSet.from_range(1, 3)
+        assert a == b and hash(a) == hash(b)
+        assert a != IntervalSet.from_range(1, 4)
+
+
+# ---------------------------------------------------------------------------
+# OpMap.chunk_summary cache
+# ---------------------------------------------------------------------------
+class TestChunkSummaryCache:
+    def _map(self, values, to_size=16):
+        edges = op_decl_set(len(values), "edges")
+        cells = op_decl_set(to_size, "cells")
+        return op_decl_map(edges, cells, 1, np.asarray(values).reshape(-1, 1), "m")
+
+    def test_summary_matches_targets(self):
+        mapping = self._map([3, 1, 9, 9, 2, 14])
+        assert mapping.chunk_summary(0, 0, 3).runs() == [(1, 1), (3, 3), (9, 9)]
+        assert mapping.chunk_summary(0, 3, 6).runs() == [(2, 2), (9, 9), (14, 14)]
+
+    def test_summary_is_cached_and_version_invalidated(self):
+        mapping = self._map([0, 1, 2, 3])
+        first = mapping.chunk_summary(0, 0, 4)
+        assert mapping.chunk_summary(0, 0, 4) is first  # cache hit
+        mapping.set_values(np.asarray([3, 2, 1, 0]).reshape(-1, 1))
+        second = mapping.chunk_summary(0, 0, 4)
+        assert second is not first
+        assert second.runs() == [(0, 3)]
+
+    def test_summary_validates_slot_and_range(self):
+        mapping = self._map([0, 1, 2, 3])
+        with pytest.raises(OP2MappingError):
+            mapping.chunk_summary(1, 0, 4)
+        with pytest.raises(OP2MappingError):
+            mapping.chunk_summary(0, 2, 2)
+        with pytest.raises(OP2MappingError):
+            mapping.chunk_summary(0, 0, 5)
+
+
+# ---------------------------------------------------------------------------
+# DependencyTracker: interval sets vs [min, max]
+# ---------------------------------------------------------------------------
+def _indirect_loops(map_values, num_cells):
+    """A writer and a reader loop over the same dat through the same map."""
+    edges = op_decl_set(len(map_values), "edges")
+    cells = op_decl_set(num_cells, "cells")
+    mapping = op_decl_map(edges, cells, 1, np.asarray(map_values).reshape(-1, 1), "m")
+    dat = op_decl_dat(cells, 1, "double", None, "d")
+    kernel = Kernel(name="k", elemental=lambda a: None)
+    writer = ParLoop(kernel, "writer", edges, [op_arg_dat(dat, 0, mapping, 1, "double", OP_WRITE)])
+    reader = ParLoop(kernel, "reader", edges, [op_arg_dat(dat, 0, mapping, 1, "double", OP_READ)])
+    return writer, reader
+
+
+class TestTrackerIntervalSets:
+    def test_interleaved_targets_false_edge_killed(self):
+        """Chunk 0 writes even cells, chunk 1 writes odd cells: the hulls
+        overlap (false edge in [min,max] mode) but the sets are disjoint."""
+        values = list(range(0, 40, 2)) + list(range(1, 40, 2))
+        writer, reader = _indirect_loops(values, 40)
+        exact = DependencyTracker(interval_sets=True)
+        coarse = DependencyTracker(interval_sets=False)
+        for tracker in (exact, coarse):
+            tracker.record_chunk(writer, 0, 0, 20, task_id=0)
+            tracker.record_chunk(writer, 0, 20, 40, task_id=1)
+        # the reader chunk [20, 40) touches only odd cells -> only task 1
+        assert exact.chunk_dependencies(reader, 20, 40, loop_seq=1) == [1]
+        assert coarse.chunk_dependencies(reader, 20, 40, loop_seq=1) == [0, 1]
+
+    def test_mode_names(self):
+        assert DependencyTracker().mode == "interval-set"
+        assert DependencyTracker(interval_sets=False).mode == "minmax"
+        assert DependencyTracker(chunk_granularity=False).mode == "loop-granular"
+
+    def test_loop_granular_ablation_ignores_intervals(self):
+        values = list(range(0, 40, 2)) + list(range(1, 40, 2))
+        writer, reader = _indirect_loops(values, 40)
+        tracker = DependencyTracker(chunk_granularity=False, interval_sets=True)
+        tracker.record_chunk(writer, 0, 0, 20, task_id=0)
+        tracker.record_chunk(writer, 0, 20, 40, task_id=1)
+        assert tracker.chunk_dependencies(reader, 20, 40, loop_seq=1) == [0, 1]
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_disjoint_target_sets_get_no_edge(self, data):
+        """Hypothesis: chunks whose indirect target sets are disjoint never
+        get an edge under interval sets, and ``[min, max]`` mode always
+        yields a superset of the interval-set edges."""
+        num_cells = data.draw(st.integers(8, 64))
+        side = data.draw(st.lists(st.booleans(), min_size=num_cells, max_size=num_cells))
+        group_a = [i for i in range(num_cells) if side[i]]
+        group_b = [i for i in range(num_cells) if not side[i]]
+        assume(group_a and group_b)
+        chunk = data.draw(st.integers(1, 12))
+        targets_a = data.draw(
+            st.lists(st.sampled_from(group_a), min_size=chunk, max_size=chunk)
+        )
+        targets_b = data.draw(
+            st.lists(st.sampled_from(group_b), min_size=chunk, max_size=chunk)
+        )
+        writer, reader = _indirect_loops(targets_a + targets_b, num_cells)
+
+        exact = DependencyTracker(interval_sets=True)
+        coarse = DependencyTracker(interval_sets=False)
+        for tracker in (exact, coarse):
+            tracker.record_chunk(writer, 0, 0, chunk, task_id=0)
+            tracker.record_chunk(writer, 0, chunk, 2 * chunk, task_id=1)
+        # disjoint targets: the reader of the B half never waits for the A writer
+        deps_exact = exact.chunk_dependencies(reader, chunk, 2 * chunk, loop_seq=1)
+        deps_coarse = coarse.chunk_dependencies(reader, chunk, 2 * chunk, loop_seq=1)
+        assert 0 not in deps_exact
+        assert deps_exact == [1]
+        assert set(deps_exact) <= set(deps_coarse)
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_minmax_mode_is_superset_for_arbitrary_maps(self, data):
+        num_cells = data.draw(st.integers(4, 64))
+        num_edges = data.draw(st.integers(4, 32))
+        values = data.draw(
+            st.lists(
+                st.integers(0, num_cells - 1), min_size=num_edges, max_size=num_edges
+            )
+        )
+        split = data.draw(st.integers(1, num_edges - 1))
+        writer, reader = _indirect_loops(values, num_cells)
+        exact = DependencyTracker(interval_sets=True)
+        coarse = DependencyTracker(interval_sets=False)
+        for tracker in (exact, coarse):
+            tracker.record_chunk(writer, 0, 0, split, task_id=0)
+            tracker.record_chunk(writer, 0, split, num_edges, task_id=1)
+        for start, stop in ((0, split), (split, num_edges), (0, num_edges)):
+            deps_exact = exact.chunk_dependencies(reader, start, stop, loop_seq=1)
+            deps_coarse = coarse.chunk_dependencies(reader, start, stop, loop_seq=1)
+            assert set(deps_exact) <= set(deps_coarse)
+
+
+# ---------------------------------------------------------------------------
+# Plan cache eviction
+# ---------------------------------------------------------------------------
+class TestPlanCacheEviction:
+    def test_renumbering_evicts_superseded_plan(self):
+        clear_plan_cache()
+        edges = op_decl_set(32, "edges")
+        cells = op_decl_set(32, "cells")
+        mapping = op_decl_map(edges, cells, 1, np.arange(32).reshape(-1, 1), "m")
+        dat = op_decl_dat(cells, 1, "double", None, "d")
+        arg = op_arg_dat(dat, 0, mapping, 1, "double", AccessMode.INC)
+        first = op_plan_get("loop", edges, 8, [arg])
+        assert plan_cache_size() == 1
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            mapping.set_values(rng.permutation(32).reshape(-1, 1))
+            plan = op_plan_get("loop", edges, 8, [arg])
+            assert plan is not first
+            assert plan_cache_size() == 1  # superseded versions evicted
+
+    def test_same_version_still_hits_cache(self):
+        clear_plan_cache()
+        edges = op_decl_set(16, "edges")
+        cells = op_decl_set(16, "cells")
+        mapping = op_decl_map(edges, cells, 1, np.arange(16).reshape(-1, 1), "m")
+        dat = op_decl_dat(cells, 1, "double", None, "d")
+        arg = op_arg_dat(dat, 0, mapping, 1, "double", AccessMode.INC)
+        first = op_plan_get("loop", edges, 4, [arg])
+        assert op_plan_get("loop", edges, 4, [arg]) is first
+
+
+# ---------------------------------------------------------------------------
+# Mesh renumbering utilities
+# ---------------------------------------------------------------------------
+class TestMeshRenumbering:
+    def test_reverse_cuthill_mckee_is_bijection_and_reduces_bandwidth(self):
+        mesh = generate_mesh(12, 8)
+        shuffled = renumber_mesh(mesh, method="shuffle", seed=1)
+        perm = reverse_cuthill_mckee(shuffled.num_cells, shuffled.edge_cells)
+        assert sorted(perm.tolist()) == list(range(shuffled.num_cells))
+        bandwidth = lambda ec: int(np.abs(ec[:, 0] - ec[:, 1]).max())  # noqa: E731
+        assert bandwidth(perm[shuffled.edge_cells]) < bandwidth(shuffled.edge_cells)
+
+    @pytest.mark.parametrize("method", ["shuffle", "scramble", "reverse", "rcm"])
+    def test_renumbered_mesh_is_valid(self, method):
+        mesh = generate_mesh(10, 6)
+        renumbered = renumber_mesh(mesh, method=method, seed=7)
+        renumbered.validate()
+        assert renumbered.num_cells == mesh.num_cells
+        assert renumbered.num_edges == mesh.num_edges
+        # same geometry: the multiset of node coordinates is unchanged
+        original = np.sort(mesh.node_coords.view("f8,f8").reshape(-1), order=["f0", "f1"])
+        permuted = np.sort(renumbered.node_coords.view("f8,f8").reshape(-1), order=["f0", "f1"])
+        assert np.array_equal(original, permuted)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(MeshError):
+            renumber_mesh(generate_mesh(4, 4), method="sort-of-random")
+
+    def test_shuffle_keeps_iteration_order_scramble_does_not(self):
+        mesh = generate_mesh(10, 6)
+        shuffled = renumber_mesh(mesh, method="shuffle", seed=3)
+        scrambled = renumber_mesh(mesh, method="scramble", seed=3)
+        # shuffle permutes ids only: edge k still connects the same two
+        # geometric cells, so the per-edge multisets match after renumbering
+        assert shuffled.num_edges == scrambled.num_edges
+        assert not np.array_equal(shuffled.edge_cells, scrambled.edge_cells)
+
+    def test_solver_result_equal_up_to_cell_permutation(self):
+        """Renumbering changes nothing physical: the solution on the shuffled
+        mesh is the original solution with rows permuted."""
+        base = generate_mesh(10, 6)
+        with active_context(serial_context()):
+            reference = run_airfoil(generate_mesh(10, 6), niter=2, rk_steps=2)
+        shuffled = renumber_mesh(base, method="shuffle", seed=5)
+        with active_context(serial_context()):
+            renumbered = run_airfoil(
+                renumber_mesh(generate_mesh(10, 6), method="shuffle", seed=5),
+                niter=2,
+                rk_steps=2,
+            )
+        # recover the cell permutation used by the renumbering
+        rng = np.random.default_rng(5)
+        rng.permutation(base.num_nodes)  # node draw happens first
+        cell_perm = rng.permutation(base.num_cells)
+        assert np.allclose(renumbered.q[cell_perm], reference.q, rtol=1e-10, atol=1e-12)
+        assert np.allclose(renumbered.rms_history, reference.rms_history, rtol=1e-10)
+        assert shuffled.num_cells == base.num_cells

@@ -58,6 +58,27 @@ class TestBasics:
         with pytest.raises(SchedulerError):
             pool.submit(lambda: None, deps=[12345])
 
+    def test_unknown_dependency_leaves_no_dangling_edges(self, pool):
+        """A submit mixing valid and unknown dep ids must not corrupt the pool.
+
+        Regression: deps used to be registered one by one, so an unknown id
+        raised mid-loop after valid deps had already recorded a dependent for
+        a task never added -- their completion then KeyError'd inside the
+        worker loop, killing the worker and hanging wait_all forever.
+        """
+        gate = threading.Event()
+        ran = threading.Event()
+        blocker = pool.submit(lambda: gate.wait(timeout=5.0))
+        with pytest.raises(SchedulerError):
+            pool.submit(lambda: None, deps=[blocker, 987654])
+        gate.set()
+        begin = time.monotonic()
+        pool.wait_all(timeout=30.0)  # hung (KeyError'd worker, lost notify) before
+        assert time.monotonic() - begin < 5.0
+        pool.submit(ran.set)  # workers must all still be alive
+        pool.wait_all(timeout=10.0)
+        assert ran.is_set()
+
 
 class TestDependencies:
     def test_chain_executes_in_order(self, pool):
@@ -187,5 +208,43 @@ class TestFailures:
                 executor.wait_all(timeout=0.05)
             gate.set()
             executor.wait_all(timeout=10.0)
+        finally:
+            executor.shutdown(wait=False)
+
+    def test_timed_out_wait_prefers_pending_failure_and_clears_it(self):
+        """Regression: a timeout used to raise RuntimeStateError while leaving
+        the latched task failure in place, so the *next* barrier re-raised a
+        stale exception from the previous run."""
+        executor = PoolExecutor(2)
+        try:
+            gate = threading.Event()
+            # the blocker must outlive the retry deadline below, else the
+            # failure surfaces through the normal (pending == 0) path
+            executor.submit(lambda: gate.wait(timeout=30.0))
+
+            def boom():
+                raise ValueError("chunk exploded")
+
+            boom_id = executor.submit(boom)
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                # the failing task completes quickly; the blocker keeps
+                # _pending > 0, so wait_all must take the timeout path
+                try:
+                    executor.wait_all(timeout=0.05)
+                except ValueError:
+                    break  # the pending failure, preferred over the timeout
+                except RuntimeStateError:
+                    continue  # failing task had not finished yet; retry
+            else:
+                pytest.fail("task failure never surfaced from a timed-out wait")
+            # delivering the failure must NOT un-poison the still-pending run:
+            # later tasks are skipped (on_skip fires), not executed
+            ran = threading.Event()
+            skipped = threading.Event()
+            executor.submit(ran.set, deps=[boom_id], on_skip=skipped.set)
+            gate.set()
+            executor.wait_all(timeout=10.0)  # no stale re-raise after draining
+            assert skipped.is_set() and not ran.is_set()
         finally:
             executor.shutdown(wait=False)

@@ -12,12 +12,14 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.apps.airfoil import generate_mesh, run_airfoil
+from repro.apps.airfoil import generate_mesh, renumber_mesh, run_airfoil
 from repro.apps.jacobi import build_ring_problem, run_jacobi
 from repro.bench.harness import (
     AirfoilWorkload,
     ExperimentConfig,
     run_airfoil_experiment,
+    run_renumbered_sweep,
+    run_thread_sweep,
     run_wallclock_comparison,
 )
 from repro.errors import OP2BackendError
@@ -67,6 +69,25 @@ class TestHPXThreads:
         second, _ = _run_airfoil(hpx_context, num_threads=4, execution="threads")
         assert np.array_equal(first.q, second.q)
         assert first.rms_history == second.rms_history
+
+    @pytest.mark.parametrize("method", ["shuffle", "scramble", "rcm"])
+    def test_airfoil_matches_serial_on_renumbered_mesh(self, method):
+        """Parity must survive meshes whose numbering defeats [min, max]
+        summaries: the interval-set DAG has fewer edges, never too few."""
+
+        def make_mesh():
+            return renumber_mesh(generate_mesh(30, 20), method=method, seed=11)
+
+        clear_plan_cache()
+        with active_context(serial_context()):
+            reference = run_airfoil(make_mesh(), niter=2, rk_steps=2)
+        clear_plan_cache()
+        context = hpx_context(num_threads=4, execution="threads")
+        with active_context(context):
+            threaded = run_airfoil(make_mesh(), niter=2, rk_steps=2)
+        assert np.allclose(threaded.q, reference.q, rtol=1e-12, atol=1e-14)
+        assert np.allclose(threaded.rms_history, reference.rms_history, rtol=1e-12)
+        assert context.report().details["dependency_mode"] == "interval-set"
 
     def test_jacobi_bit_identical_to_serial(self):
         """Single scatter stream per loop => bit-identical to the serial run."""
@@ -215,3 +236,34 @@ class TestHarness:
             assert entry["makespan_seconds"] > 0.0
             assert entry["wall_seconds"] > 0.0
             assert entry["numerically_correct"] == 1.0
+
+    def test_thread_sweep_cross_checks_by_default(self):
+        """The harness docstring promise: every sweep point is checked
+        against the serial reference and the outcome recorded."""
+        config = ExperimentConfig(backend="hpx", workload=self.WORKLOAD)
+        times, _bandwidth = run_thread_sweep(config, threads=(1, 2))
+        assert times.correct == {1: True, 2: True}
+        assert times.all_correct
+
+    def test_renumbered_sweep_reports_edge_counts_per_mode(self):
+        config = ExperimentConfig(
+            backend="hpx", num_threads=4, execution="threads", workload=self.WORKLOAD
+        )
+        sweep = run_renumbered_sweep(config, renumberings=("shuffle",), seed=2)
+        assert set(sweep) == {"none", "shuffle"}
+        for modes in sweep.values():
+            assert set(modes) == {"interval_set", "minmax"}
+            for entry in modes.values():
+                assert entry["dependency_edges"] > 0
+                assert entry["numerically_correct"] == 1.0
+            # interval sets only ever remove edges
+            assert (
+                modes["interval_set"]["dependency_edges"]
+                <= modes["minmax"]["dependency_edges"]
+            )
+
+    def test_renumbered_sweep_rejects_non_hpx_backend(self):
+        from repro.errors import BenchmarkError
+
+        with pytest.raises(BenchmarkError):
+            run_renumbered_sweep(ExperimentConfig(backend="openmp"))
