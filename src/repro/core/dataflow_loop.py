@@ -48,6 +48,7 @@ from repro.op2.dat import OpDat
 from repro.op2.par_loop import ParLoop
 from repro.runtime.future import HandleFuture, Promise, SharedFuture, make_ready_future
 from repro.runtime.pool_executor import PoolExecutor
+from repro.runtime.process_pool import ProcessChunkEngine
 from repro.sim.cost import KernelCostModel, PrefetchSpec
 from repro.sim.scheduler_sim import TaskGraph
 
@@ -83,7 +84,7 @@ class DataflowLoopRunner:
         planner: ChunkPlanner,
         config: OptimizationConfig,
         prefer_vectorized: bool = True,
-        executor: Optional[PoolExecutor] = None,
+        executor: "PoolExecutor | ProcessChunkEngine | None" = None,
     ) -> None:
         self.cost_model = cost_model
         self.task_graph = task_graph
@@ -181,7 +182,13 @@ class DataflowLoopRunner:
         sim_deps: list[int],
         last_merge_id: Optional[int],
     ) -> int:
-        """Submit one chunk as a compute task plus a chained merge task."""
+        """Submit one chunk as a compute task plus a chained merge task.
+
+        A thread pool receives a ``prepare`` closure; a multiprocess engine
+        (anything exposing ``submit_loop_chunk``) receives the loop itself and
+        turns it into a by-name worker dispatch -- closures cannot cross the
+        process boundary.
+        """
         executor = self.executor
         assert executor is not None
         # Dependents must observe a producer chunk's *committed* effects, so
@@ -189,14 +196,21 @@ class DataflowLoopRunner:
         pool_deps = [
             self.pool_chunk_ids[dep][1] for dep in sim_deps if dep in self.pool_chunk_ids
         ]
-        prefer_vectorized = self.prefer_vectorized
+        if hasattr(executor, "submit_loop_chunk"):
+            compute_id, merge_id = executor.submit_loop_chunk(
+                loop, start, stop, deps=pool_deps, after=last_merge_id
+            )
+        else:
+            prefer_vectorized = self.prefer_vectorized
 
-        def prepare() -> Callable[[], None]:
-            return loop.prepare_block(start, stop, prefer_vectorized=prefer_vectorized)
+            def prepare() -> Callable[[], None]:
+                return loop.prepare_block(
+                    start, stop, prefer_vectorized=prefer_vectorized
+                )
 
-        compute_id, merge_id = executor.submit_chunk(
-            prepare, deps=pool_deps, after=last_merge_id
-        )
+            compute_id, merge_id = executor.submit_chunk(
+                prepare, deps=pool_deps, after=last_merge_id
+            )
         self.pool_chunk_ids[sim_id] = (compute_id, merge_id)
         return merge_id
 

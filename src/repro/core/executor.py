@@ -33,6 +33,16 @@ backend (global reductions are synchronisation points: their loop completes
 before ``op_par_loop`` returns, since applications read the reduction target
 right after the call).  The report then carries the measured wall-clock time
 next to the simulated makespan.
+
+``execution="processes"`` runs the same chunk DAG on ``num_threads`` worker
+*processes* (a :class:`~repro.runtime.process_pool.ProcessChunkEngine`): dats
+live in shared-memory segments so workers gather/scatter in place, chunks
+dispatch by registered kernel name, and the deterministic merge chain carries
+global-reduction contributions back to the parent -- past the GIL that caps
+the threaded engine on small NumPy kernels.  Loops with non-reduction global
+writes (``OP_WRITE``/``OP_RW`` on a global) are executed eagerly in the
+parent at a drained barrier, since their kernels must observe the live
+global value.
 """
 
 from __future__ import annotations
@@ -54,9 +64,11 @@ from repro.op2.context import (
 )
 from repro.op2.dat import OpDat
 from repro.op2.par_loop import ParLoop
+from repro.op2.access import AccessMode
 from repro.runtime.chunking import ChunkSizePolicy
 from repro.runtime.future import SharedFuture
 from repro.runtime.pool_executor import PoolExecutor
+from repro.runtime.process_pool import ProcessChunkEngine
 from repro.sim.cost import KernelCostModel
 from repro.sim.machine import Machine
 from repro.sim.scheduler_sim import ScheduleMode, TaskGraph, simulate_schedule
@@ -117,14 +129,14 @@ class HPXContext(ExecutionContext):
 
         self.cost_model = KernelCostModel(machine)
         self.task_graph = TaskGraph()
-        # In threads mode the tracker adds the strict-commit edges a real
-        # pool needs (program-order increment accumulation, reader ordering
-        # against displaced writer layers) -- the price of deterministic,
-        # serial-matching results.
+        # In threads/processes mode the tracker adds the strict-commit edges
+        # a real pool needs (program-order increment accumulation, reader
+        # ordering against displaced writer layers) -- the price of
+        # deterministic, serial-matching results.
         self.tracker = DependencyTracker(
             chunk_granularity=self.config.interleaving,
             interval_sets=interval_sets,
-            strict_commit_order=(execution == "threads"),
+            strict_commit_order=(execution in ("threads", "processes")),
         )
         self.planner = ChunkPlanner(self.cost_model, num_threads, policy=chunking)
         self.runner = DataflowLoopRunner(
@@ -137,47 +149,73 @@ class HPXContext(ExecutionContext):
         )
         self.loop_futures: dict[str, SharedFuture[OpDat]] = {}
         self.wall_seconds = 0.0
-        self._executor: Optional[PoolExecutor] = None
+        self._executor: Union[PoolExecutor, ProcessChunkEngine, None] = None
         self._wall_start: Optional[float] = None
         self._schedule = None
 
     # -- loop execution ----------------------------------------------------------------
+    @staticmethod
+    def _has_global_write(loop: ParLoop) -> bool:
+        """True when a *non-reduction* global argument is written (WRITE/RW)."""
+        return any(
+            arg.is_global and arg.access in (AccessMode.WRITE, AccessMode.RW)
+            for arg in loop.args
+        )
+
     def execute(self, loop: ParLoop) -> SharedFuture[OpDat]:
         """Execute (or schedule) one loop; returns a shared future of its output dat."""
         if self._wall_start is None:
             self._wall_start = time.perf_counter()
-        threaded = self.execution == "threads"
+        threaded = self.execution in ("threads", "processes")
+        parent_fallback = False
         if threaded:
             self.runner.executor = self._ensure_executor()
-            if loop.has_global_reduction:
+            parent_fallback = (
+                self.execution == "processes" and self._has_global_write(loop)
+            )
+            if loop.has_global_reduction or parent_fallback:
                 # Globals are invisible to the dependency tracker, so a loop
                 # writing one is a synchronisation point both ways: earlier
                 # loops may still be *reading* the same global (no WAR edges
                 # exist for globals), and the application reads the reduction
                 # target right after op_par_loop returns.
                 self._executor.wait_all()
+            if parent_fallback:
+                # A kernel with a WRITE/RW global must observe the live value
+                # sequentially, which only the parent owns; run the loop
+                # eagerly inside the drained window (its dats are already
+                # shared, so workers see its effects).
+                self.runner.executor = None
         future = self.runner.run(loop, phase=self.loop_count)
         self.loop_futures[f"{loop.name}@{self.loop_count}"] = future
         self.loop_count += 1
         self._schedule = None
-        if threaded and loop.has_global_reduction:
+        if threaded and loop.has_global_reduction and not parent_fallback:
             self._executor.wait_all()
         return future
 
-    def _ensure_executor(self) -> PoolExecutor:
+    def _ensure_executor(self) -> Union[PoolExecutor, ProcessChunkEngine]:
         if self._executor is None or self._executor.is_shutdown:
             if self._executor is not None:
                 # Fresh pool after finish(): earlier chunks all completed, so
                 # edges to them are already satisfied -- drop the stale ids.
                 self.runner.pool_chunk_ids.clear()
-            self._executor = PoolExecutor(
-                self.num_threads, name="hpx-chunk-pool", trace=True
-            )
+            if self.execution == "processes":
+                self._executor = ProcessChunkEngine(
+                    self.num_threads,
+                    name="hpx-chunk-procs",
+                    trace=True,
+                    prefer_vectorized=self.runner.prefer_vectorized,
+                )
+            else:
+                self._executor = PoolExecutor(
+                    self.num_threads, name="hpx-chunk-pool", trace=True
+                )
         return self._executor
 
     @property
-    def executor(self) -> Optional[PoolExecutor]:
-        """The chunk pool of the current threaded run (``None`` in simulate mode)."""
+    def executor(self) -> Union[PoolExecutor, ProcessChunkEngine, None]:
+        """The chunk pool/engine of the current run (``None`` in simulate mode)."""
         return self._executor
 
     # -- reporting ------------------------------------------------------------------------
@@ -214,22 +252,26 @@ class HPXContext(ExecutionContext):
         """Report including the simulated DATAFLOW schedule and chunk statistics."""
         if self._schedule is None:
             self.finish()
+        details = {
+            "config": self.config.describe(),
+            "execution": self.execution,
+            "chunking": "persistent_auto" if self.planner.is_persistent else "auto",
+            "total_chunks": self.runner.total_chunks(),
+            "total_dependencies": self.runner.total_dependencies(),
+            "dependency_mode": self.tracker.mode,
+            "dependency_edges_by_loop": self.runner.dependency_edges_by_loop(),
+            "tracked_dats": self.tracker.tracked_dats(),
+        }
+        if isinstance(self._executor, ProcessChunkEngine):
+            details["workers"] = self._executor.num_workers
+            details["shared_dats"] = len(self._executor.arena.dat_ids())
         return BackendReport(
             backend=self.backend_name,
             num_threads=self.num_threads,
             loops_executed=self.loop_count,
             schedule=self._schedule,
             wall_seconds=self.wall_seconds,
-            details={
-                "config": self.config.describe(),
-                "execution": self.execution,
-                "chunking": "persistent_auto" if self.planner.is_persistent else "auto",
-                "total_chunks": self.runner.total_chunks(),
-                "total_dependencies": self.runner.total_dependencies(),
-                "dependency_mode": self.tracker.mode,
-                "dependency_edges_by_loop": self.runner.dependency_edges_by_loop(),
-                "tracked_dats": self.tracker.tracked_dats(),
-            },
+            details=details,
         )
 
 

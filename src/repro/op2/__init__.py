@@ -26,7 +26,7 @@ from repro.op2.set import OpSet, op_decl_set
 from repro.op2.map import OpMap, op_decl_map
 from repro.op2.dat import OpDat, op_decl_dat
 from repro.op2.args import OpArg, op_arg_dat, op_arg_gbl
-from repro.op2.kernel import Kernel, kernel
+from repro.op2.kernel import Kernel, kernel, register_kernel, resolve_kernel
 from repro.op2.plan import ExecutionPlan, op_plan_get
 from repro.op2.par_loop import ParLoop, op_par_loop
 from repro.op2.context import ExecutionContext, active_context, get_active_context
@@ -52,6 +52,8 @@ __all__ = [
     "op_arg_gbl",
     "Kernel",
     "kernel",
+    "register_kernel",
+    "resolve_kernel",
     "ExecutionPlan",
     "op_plan_get",
     "ParLoop",

@@ -61,9 +61,13 @@ class OpenMPContext(ExecutionContext):
         execution: str = "simulate",
     ) -> None:
         super().__init__()
-        if execution not in EXECUTION_MODES:
+        # The fork/join baseline has no multiprocess variant: its defining
+        # property is the shared-address-space barrier per loop.
+        supported = tuple(mode for mode in EXECUTION_MODES if mode != "processes")
+        if execution not in supported:
             raise OP2BackendError(
-                f"unknown execution mode {execution!r}; choose from {EXECUTION_MODES}"
+                f"unknown execution mode {execution!r} for the OpenMP backend; "
+                f"choose from {supported}"
             )
         if machine is None:
             machine = Machine(DEFAULTS.machine_preset)

@@ -38,8 +38,9 @@ __all__ = [
     "make_context",
 ]
 
-#: valid values of the backends' ``execution`` parameter
-EXECUTION_MODES = ("simulate", "threads")
+#: valid values of the backends' ``execution`` parameter (``"processes"``
+#: is only implemented by the HPX context; the OpenMP baseline rejects it)
+EXECUTION_MODES = ("simulate", "threads", "processes")
 
 
 @dataclass
@@ -75,10 +76,12 @@ class BackendReport:
     def dependency_edges(self) -> int:
         """Number of chunk-level dependency edges in the run's DAG.
 
-        Prefers the scheduled graph's count; falls back to the tracker total
-        the HPX context stores in ``details`` when no schedule was produced.
+        The scheduled graph's count is authoritative whenever a schedule was
+        produced -- including a legitimately zero-edge schedule (a run whose
+        chunks are all independent).  Only when *no* schedule exists does the
+        tracker total the HPX context stores in ``details`` stand in.
         """
-        if self.schedule is not None and self.schedule.dependency_edges:
+        if self.schedule is not None:
             return self.schedule.dependency_edges
         return int(self.details.get("total_dependencies", 0))
 

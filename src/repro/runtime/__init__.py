@@ -34,6 +34,7 @@ from repro.runtime.future import (
     when_any,
 )
 from repro.runtime.pool_executor import PoolExecutor
+from repro.runtime.process_pool import ProcessChunkEngine, ProcessPool
 from repro.runtime.lco import AndGate, Barrier, Channel, CountingSemaphore, Event, Latch
 from repro.runtime.scheduler import (
     ImmediateScheduler,
@@ -72,6 +73,8 @@ __all__ = [
     "Promise",
     "SharedFuture",
     "PoolExecutor",
+    "ProcessPool",
+    "ProcessChunkEngine",
     "make_ready_future",
     "make_exceptional_future",
     "when_all",

@@ -14,8 +14,10 @@ Design notes
 * **Readiness, not polling.**  Each task keeps a count of outstanding
   dependencies; completing a task decrements its dependents and enqueues any
   that reach zero.  Workers block on a condition variable while no task is
-  ready.  Completed tasks are evicted (only their id is remembered), so the
-  pool's live state is bounded by the unfinished frontier.
+  ready.  Completed tasks are evicted (only their id is remembered until the
+  next drained :meth:`wait_all` barrier, where the remembered ids collapse
+  into a completed-id watermark), so the pool's live state is bounded by the
+  unfinished frontier even when the pool is reused across many barriers.
 * **Tasks never block inside the pool.**  The loop runners express ordering
   (including the deterministic chunk-order merge chains) purely as
   dependency edges, so a worker that picks up a task can always run it to
@@ -31,7 +33,6 @@ Design notes
 
 from __future__ import annotations
 
-import itertools
 import threading
 from collections import deque
 from typing import Callable, Iterable, Optional
@@ -73,10 +74,13 @@ class PoolExecutor:
         if num_workers <= 0:
             raise SchedulerError(f"num_workers must be positive, got {num_workers}")
         self._num_workers = num_workers
-        self._ids = itertools.count()
+        self._next_id = 0
         self._cond = threading.Condition()
         self._tasks: dict[int, _TaskNode] = {}
+        #: ids completed since the last drained barrier; every id below
+        #: _done_watermark also counts as done (see wait_all's compaction)
         self._done: set[int] = set()
+        self._done_watermark = 0
         self._ready: deque[int] = deque()
         self._pending = 0
         self._failure: Optional[BaseException] = None
@@ -128,13 +132,14 @@ class PoolExecutor:
             # the worker loop, killing the worker and hanging wait_all.
             dep_nodes: list[_TaskNode] = []
             for dep in set(deps):
-                if dep in self._done:
+                if dep < self._done_watermark or dep in self._done:
                     continue
                 dep_node = self._tasks.get(dep)
                 if dep_node is None:
                     raise SchedulerError(f"task depends on unknown task id {dep}")
                 dep_nodes.append(dep_node)
-            task_id = next(self._ids)
+            task_id = self._next_id
+            self._next_id += 1
             node = _TaskNode(fn, on_skip)
             node.remaining = len(dep_nodes)
             for dep_node in dep_nodes:
@@ -183,7 +188,11 @@ class PoolExecutor:
         """Block until every submitted task has completed.
 
         Re-raises the first exception raised by any task.  More tasks may be
-        submitted afterwards (the pool is reusable between barriers).
+        submitted afterwards (the pool is reusable between barriers).  A
+        drained barrier also compacts the completed-id set into a watermark:
+        every id issued so far has completed, so remembering the ids
+        individually would only let ``_done`` grow without bound across
+        barrier reuse.
         """
         with self._cond:
             if not self._cond.wait_for(lambda: self._pending == 0, timeout=timeout):
@@ -203,6 +212,11 @@ class PoolExecutor:
                 )
             failure, self._failure = self._failure, None
             delivered, self._failure_delivered = self._failure_delivered, False
+            # Drained: every id below _next_id has completed (failed and
+            # skipped tasks included -- they entered _done too), so deps on
+            # them stay satisfied through the watermark alone.
+            self._done.clear()
+            self._done_watermark = self._next_id
         if failure is not None and not delivered:
             raise failure
 
@@ -218,16 +232,24 @@ class PoolExecutor:
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop the pool; with ``wait=True`` drain outstanding work first,
-        otherwise cancel whatever has not started yet."""
-        if wait:
-            self.wait_all()
-        else:
-            self.cancel_pending()
-        with self._cond:
-            self._shutdown = True
-            self._cond.notify_all()
-        for worker in self._workers:
-            worker.join(timeout=5.0)
+        otherwise cancel whatever has not started yet.
+
+        The pool is stopped even when draining re-raises a task failure:
+        ``wait_all`` only returns/raises once nothing is pending, so the
+        workers can be woken and joined unconditionally -- otherwise a failed
+        run would leak every worker thread.
+        """
+        try:
+            if wait:
+                self.wait_all()
+            else:
+                self.cancel_pending()
+        finally:
+            with self._cond:
+                self._shutdown = True
+                self._cond.notify_all()
+            for worker in self._workers:
+                worker.join(timeout=5.0)
 
     # -- worker loop -------------------------------------------------------------------
     def _worker_loop(self) -> None:

@@ -248,3 +248,51 @@ class TestFailures:
             assert skipped.is_set() and not ran.is_set()
         finally:
             executor.shutdown(wait=False)
+
+
+class TestLifecycle:
+    """Regression tests for the pool's long-run lifecycle guarantees."""
+
+    def test_done_set_compacts_to_watermark_at_drained_barrier(self, pool):
+        """A reusable pool must not accumulate completed ids forever: a
+        drained wait_all collapses them into a watermark, and dependencies
+        on pre-barrier ids stay satisfied through that watermark."""
+        first_batch = [pool.submit(lambda: None) for _ in range(50)]
+        pool.wait_all(timeout=10.0)
+        assert pool._done == set()
+        assert pool._done_watermark == pool._next_id
+        # deps on compacted ids must validate (and be treated as satisfied)
+        ran = threading.Event()
+        pool.submit(ran.set, deps=first_batch)
+        pool.wait_all(timeout=10.0)
+        assert ran.is_set()
+        assert pool._done == set()
+
+    def test_done_stays_bounded_across_many_barriers(self, pool):
+        for _ in range(20):
+            for _ in range(10):
+                pool.submit(lambda: None)
+            pool.wait_all(timeout=10.0)
+            assert len(pool._done) == 0  # bounded by the unfinished frontier
+
+    def test_shutdown_joins_workers_even_when_a_task_failed(self):
+        """shutdown(wait=True) used to re-raise from wait_all before waking
+        the workers, leaking every worker thread of a failed run."""
+        executor = PoolExecutor(3)
+
+        def boom():
+            raise ValueError("task exploded")
+
+        executor.submit(boom)
+        with pytest.raises(ValueError, match="task exploded"):
+            executor.shutdown(wait=True)
+        assert executor.is_shutdown
+        for worker in executor._workers:
+            assert not worker.is_alive()
+
+    def test_shutdown_without_failure_still_joins_workers(self):
+        executor = PoolExecutor(2)
+        executor.submit(lambda: None)
+        executor.shutdown(wait=True)
+        for worker in executor._workers:
+            assert not worker.is_alive()

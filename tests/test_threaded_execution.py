@@ -226,16 +226,23 @@ class TestHarness:
         assert result.runtime_seconds > 0.0
         assert config.label().endswith("[threads]")
 
-    def test_wallclock_comparison_reports_both_modes(self):
+    def test_wallclock_comparison_reports_all_execution_modes(self):
         config = ExperimentConfig(
             backend="hpx", num_threads=4, workload=self.WORKLOAD
         )
         comparison = run_wallclock_comparison(config)
-        assert set(comparison) == {"simulate", "threads"}
+        assert set(comparison) == {"simulate", "threads", "processes"}
         for entry in comparison.values():
             assert entry["makespan_seconds"] > 0.0
             assert entry["wall_seconds"] > 0.0
             assert entry["numerically_correct"] == 1.0
+
+    def test_wallclock_comparison_respects_execution_subset(self):
+        config = ExperimentConfig(
+            backend="hpx", num_threads=4, workload=self.WORKLOAD
+        )
+        comparison = run_wallclock_comparison(config, executions=("simulate",))
+        assert set(comparison) == {"simulate"}
 
     def test_thread_sweep_cross_checks_by_default(self):
         """The harness docstring promise: every sweep point is checked
