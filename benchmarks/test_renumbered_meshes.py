@@ -24,7 +24,7 @@ def test_interval_sets_cut_false_edges_on_shuffled_mesh(benchmark):
     config = ExperimentConfig(
         backend="hpx",
         num_threads=RENUMBER_THREADS,
-        execution="threads",
+        engine="threads",
         workload=RENUMBER_WORKLOAD,
     )
 

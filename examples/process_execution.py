@@ -1,6 +1,6 @@
 """Run Airfoil on the shared-memory *multiprocess* chunk-DAG engine.
 
-``hpx_context(execution="processes")`` executes the same dependency-gated
+``hpx_context(engine="processes")`` executes the same dependency-gated
 chunk DAG as the threaded engine, but on worker *processes*: every dat lives
 in a ``multiprocessing.shared_memory`` segment that workers gather/scatter
 into in place, chunks dispatch by registered kernel name, and the
@@ -45,8 +45,8 @@ def run(factory, niter, **kwargs):
 def main() -> None:
     configs = [
         ("serial reference", serial_context, {}),
-        ("hpx threads(4)", hpx_context, dict(num_threads=4, execution="threads")),
-        ("hpx processes(4)", hpx_context, dict(num_threads=4, execution="processes")),
+        ("hpx threads(4)", hpx_context, dict(num_threads=4, engine="threads")),
+        ("hpx processes(4)", hpx_context, dict(num_threads=4, engine="processes")),
     ]
 
     print(f"Airfoil {NX}x{NY}, rk_steps=2 -- wall clock of 1 vs {STEADY_ITERS} time steps\n")

@@ -24,7 +24,7 @@ from repro.op2 import (
     op_decl_set,
     op_par_loop,
 )
-from repro.op2.backends import hpx_context, openmp_context, serial_context
+from repro.op2.backends import RunConfig, hpx_context, openmp_context, serial_context
 from repro.op2.context import active_context
 
 
@@ -79,7 +79,17 @@ def main() -> None:
     serial = run_on(serial_context(), "serial")
     openmp = run_on(openmp_context(num_threads=8), "openmp")
     hpx = run_on(hpx_context(num_threads=8, chunking="persistent_auto"), "hpx")
-    assert np.allclose(serial, openmp) and np.allclose(serial, hpx)
+    # The typed RunConfig is the canonical way to pick an execution engine:
+    # the same loop on the real threaded chunk-DAG engine.
+    threaded = run_on(
+        hpx_context(config=RunConfig(engine="threads", num_threads=4)),
+        "threads",
+    )
+    assert (
+        np.allclose(serial, openmp)
+        and np.allclose(serial, hpx)
+        and np.allclose(serial, threaded)
+    )
     print("all backends produced identical results")
 
 

@@ -1,6 +1,6 @@
 """Run Airfoil on the *real* threaded chunk-DAG engine.
 
-``hpx_context(execution="threads")`` replaces the eager, sequential numerical
+``hpx_context(engine="threads")`` replaces the eager, sequential numerical
 execution with a worker pool: every chunk of every ``op_par_loop`` becomes a
 pool task gated by the same dependency edges the simulator models, so
 dependent loops genuinely interleave on OS threads.  The report then carries
@@ -38,13 +38,13 @@ def run(factory, label, **kwargs):
 def main() -> None:
     runs = [
         run(serial_context, "serial reference"),
-        run(openmp_context, "openmp (pooled colours)", num_threads=4, execution="threads"),
-        run(hpx_context, "hpx dataflow (threads)", num_threads=4, execution="threads"),
+        run(openmp_context, "openmp (pooled colours)", num_threads=4, engine="threads"),
+        run(hpx_context, "hpx dataflow (threads)", num_threads=4, engine="threads"),
         run(
             hpx_context,
             "hpx dataflow (threads, persistent chunks)",
             num_threads=4,
-            execution="threads",
+            engine="threads",
             chunking="persistent_auto",
         ),
     ]
@@ -72,7 +72,7 @@ def main() -> None:
         ExperimentConfig(
             backend="hpx",
             num_threads=8,
-            execution="threads",
+            engine="threads",
             workload=AirfoilWorkload(nx=120, ny=80, niter=1, rk_steps=2),
         ),
         renumberings=("shuffle",),

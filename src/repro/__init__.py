@@ -9,6 +9,9 @@ The package contains every system the paper builds on or contributes:
 * :mod:`repro.op2` -- the OP2 active library (sets, maps, dats, access
   descriptors, execution plans with colouring, ``op_par_loop``) with serial,
   OpenMP-style and HPX-style backends;
+* :mod:`repro.engines` -- the pluggable execution-engine seam: the
+  ``ExecutionEngine`` protocol, ``EngineCapabilities`` negotiation, the
+  engine registry and the typed ``RunConfig`` contexts are built from;
 * :mod:`repro.core` -- the paper's contribution: OP2 loops as dataflow nodes,
   chunk-granular loop interleaving, ``persistent_auto_chunk_size`` and the
   prefetcher integration;

@@ -25,6 +25,7 @@ from typing import Callable, Optional, Sequence, Union
 import numpy as np
 
 from repro.config import DEFAULTS
+from repro.engines import RunConfig, available_engines, resolve_legacy_execution
 from repro.errors import BenchmarkError
 from repro.apps.airfoil import generate_mesh, renumber_mesh, run_airfoil
 from repro.apps.airfoil.mesh import AirfoilMesh
@@ -84,10 +85,30 @@ class ExperimentConfig:
     interleave: bool = True
     interval_sets: bool = True  # exact chunk access summaries (hpx only)
     machine_preset: str = "paper-testbed"
-    execution: str = "simulate"  # "simulate", "threads" or "processes" (hpx only)
+    engine: str = "simulate"  # any registered execution engine name
     workload: AirfoilWorkload = field(default_factory=AirfoilWorkload)
     renumbering: Optional[str] = None  # "shuffle" / "reverse" / "rcm" mesh renumbering
     renumber_seed: int = 0
+    #: deprecated alias of ``engine`` (normalised away in __post_init__)
+    execution: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.execution is not None:
+            engine = resolve_legacy_execution(self.execution, stacklevel=4)
+            object.__setattr__(self, "engine", engine)
+            object.__setattr__(self, "execution", None)
+
+    def run_config(self) -> RunConfig:
+        """The typed execution config this experiment point hands to contexts."""
+        return RunConfig(
+            engine=self.engine,
+            num_threads=self.num_threads,
+            chunking=self.chunking,
+            prefetch=self.prefetch,
+            prefetch_distance_factor=self.prefetch_distance_factor,
+            interleave=self.interleave,
+            interval_sets=self.interval_sets,
+        )
 
     def label(self) -> str:
         """Series label used in reports."""
@@ -104,8 +125,10 @@ class ExperimentConfig:
             label = " + ".join(parts)
         if self.renumbering is not None:
             label += f" [{self.renumbering} mesh]"
-        if self.execution in ("threads", "processes"):
-            label += f" [{self.execution}]"
+        # The engine name passes through verbatim, so future engines label
+        # themselves with no edits here; only the modelled default is silent.
+        if self.engine != "simulate":
+            label += f" [{self.engine}]"
         return label
 
 
@@ -177,22 +200,9 @@ _reference_cache: dict[tuple, tuple[np.ndarray, float]] = {}
 def _make_context(config: ExperimentConfig):
     machine = Machine(config.machine_preset)
     if config.backend == "openmp":
-        return openmp_context(
-            machine=machine,
-            num_threads=config.num_threads,
-            execution=config.execution,
-        )
+        return openmp_context(machine=machine, config=config.run_config())
     if config.backend == "hpx":
-        return hpx_context(
-            machine=machine,
-            num_threads=config.num_threads,
-            chunking=config.chunking,
-            prefetch=config.prefetch,
-            prefetch_distance_factor=config.prefetch_distance_factor,
-            interleave=config.interleave,
-            interval_sets=config.interval_sets,
-            execution=config.execution,
-        )
+        return hpx_context(machine=machine, config=config.run_config())
     raise BenchmarkError(f"unknown benchmark backend {config.backend!r}")
 
 
@@ -218,32 +228,36 @@ def run_airfoil_experiment(config: ExperimentConfig, *, check_correctness: bool 
     )
 
 
-#: execution substrates compared by :func:`run_wallclock_comparison`
-WALLCLOCK_EXECUTIONS: tuple[str, ...] = ("simulate", "threads", "processes")
-
-
 def run_wallclock_comparison(
     base_config: ExperimentConfig,
     *,
-    executions: Sequence[str] = WALLCLOCK_EXECUTIONS,
+    engines: Optional[Sequence[str]] = None,
+    executions: Optional[Sequence[str]] = None,
     check_correctness: bool = True,
 ) -> dict[str, dict[str, float]]:
-    """Run ``base_config`` under every execution substrate; report makespan
+    """Run ``base_config`` under every execution engine; report makespan
     *and* wall time.
 
-    Returns ``{"simulate": {...}, "threads": {...}, "processes": {...}}``
-    where each entry carries the simulated makespan, the measured wall-clock
-    seconds, and whether the run matched the serial reference -- the
-    Fig. 15/16-style sanity check that the modelled dataflow overlap
-    corresponds to a real, correct execution.  The ``processes`` entry is the
-    shared-memory multiprocess engine, the substrate whose wall-clock numbers
-    are not capped by the GIL.
+    ``engines`` defaults to every engine in the :mod:`repro.engines`
+    registry, so a newly registered substrate joins the comparison with no
+    edits here.  Returns ``{engine_name: {...}, ...}`` where each entry
+    carries the simulated makespan, the measured wall-clock seconds, and
+    whether the run matched the serial reference -- the Fig. 15/16-style
+    sanity check that the modelled dataflow overlap corresponds to a real,
+    correct execution.  (``executions`` is the deprecated alias of
+    ``engines``.)
     """
+    if executions is not None:
+        if engines is not None:
+            raise BenchmarkError("pass engines= or the deprecated executions=, not both")
+        engines = [resolve_legacy_execution(name, stacklevel=3) for name in executions]
+    if engines is None:
+        engines = available_engines()
     comparison: dict[str, dict[str, float]] = {}
-    for execution in executions:
-        config = replace(base_config, execution=execution)
+    for engine in engines:
+        config = replace(base_config, engine=engine)
         result = run_airfoil_experiment(config, check_correctness=check_correctness)
-        comparison[execution] = {
+        comparison[engine] = {
             "makespan_seconds": result.runtime_seconds,
             "wall_seconds": result.wall_seconds,
             "numerically_correct": float(result.numerically_correct),
@@ -300,7 +314,7 @@ def run_renumbered_sweep(
     on shuffled meshes.
     """
     if base_config is None:
-        base_config = ExperimentConfig(backend="hpx", num_threads=4, execution="threads")
+        base_config = ExperimentConfig(backend="hpx", num_threads=4, engine="threads")
     if base_config.backend != "hpx":
         raise BenchmarkError("the renumbered sweep compares dependency trackers; use backend='hpx'")
     sweep: dict[str, dict[str, dict[str, float]]] = {}

@@ -4,10 +4,10 @@
 loop invocation:
 
 1. execute the loop numerically -- either eagerly (NumPy block execution,
-   results bit-identical to the serial backend) or, when a
-   :class:`~repro.runtime.pool_executor.PoolExecutor` is attached, *deferred*:
-   every chunk becomes a real pool task gated on the same dependency edges
-   the simulator uses, so dependent loops genuinely interleave on OS threads,
+   results bit-identical to the serial backend) or, when an
+   :class:`~repro.engines.ExecutionEngine` is attached, *deferred*: every
+   chunk becomes a real engine task gated on the same dependency edges the
+   simulator uses, so dependent loops genuinely interleave on OS workers,
 2. split the iteration range into chunks according to the active chunk-size
    policy (``auto`` or ``persistent_auto``),
 3. add one task per chunk to the simulated task graph, with chunk-granular
@@ -20,7 +20,7 @@ loop invocation:
 
 Deferred chunk execution
 ------------------------
-In pool mode each chunk is split into two pool tasks:
+In engine mode each chunk is split into two engine tasks:
 
 * a **compute** task (gated on the chunk's DAG dependencies) that gathers
   its inputs and runs the kernel into private buffers
@@ -44,11 +44,10 @@ from repro.core.interleaving import DependencyTracker
 from repro.core.optimizer import OptimizationConfig
 from repro.core.persistent_chunking import ChunkPlanner
 from repro.core.prefetch_integration import build_prefetch_spec
+from repro.engines import ExecutionEngine
 from repro.op2.dat import OpDat
 from repro.op2.par_loop import ParLoop
 from repro.runtime.future import HandleFuture, Promise, SharedFuture, make_ready_future
-from repro.runtime.pool_executor import PoolExecutor
-from repro.runtime.process_pool import ProcessChunkEngine
 from repro.sim.cost import KernelCostModel, PrefetchSpec
 from repro.sim.scheduler_sim import TaskGraph
 
@@ -84,7 +83,7 @@ class DataflowLoopRunner:
         planner: ChunkPlanner,
         config: OptimizationConfig,
         prefer_vectorized: bool = True,
-        executor: "PoolExecutor | ProcessChunkEngine | None" = None,
+        executor: Optional[ExecutionEngine] = None,
     ) -> None:
         self.cost_model = cost_model
         self.task_graph = task_graph
@@ -92,10 +91,10 @@ class DataflowLoopRunner:
         self.planner = planner
         self.config = config
         self.prefer_vectorized = prefer_vectorized
-        #: pool the chunks run on; ``None`` means eager (simulate-only) mode
+        #: engine the chunks run on; ``None`` means eager (simulate-only) mode
         self.executor = executor
         self.records: list[LoopRecord] = []
-        #: simulated task id -> (compute pool id, merge pool id), pool mode only
+        #: simulated task id -> (compute task id, merge task id), engine mode only
         self.pool_chunk_ids: dict[int, tuple[int, int]] = {}
         self._prefetch_spec: Optional[PrefetchSpec] = (
             build_prefetch_spec(True, config.prefetch_distance_factor)
@@ -184,10 +183,11 @@ class DataflowLoopRunner:
     ) -> int:
         """Submit one chunk as a compute task plus a chained merge task.
 
-        A thread pool receives a ``prepare`` closure; a multiprocess engine
-        (anything exposing ``submit_loop_chunk``) receives the loop itself and
-        turns it into a by-name worker dispatch -- closures cannot cross the
-        process boundary.
+        The submission style is negotiated through the engine's capability
+        record: an engine sharing the parent's address space receives a
+        ``prepare`` closure, while an engine that dispatches by registered
+        kernel name (``needs_kernel_registry``) receives the loop itself --
+        closures cannot cross its worker boundary.
         """
         executor = self.executor
         assert executor is not None
@@ -196,7 +196,7 @@ class DataflowLoopRunner:
         pool_deps = [
             self.pool_chunk_ids[dep][1] for dep in sim_deps if dep in self.pool_chunk_ids
         ]
-        if hasattr(executor, "submit_loop_chunk"):
+        if executor.capabilities.needs_kernel_registry:
             compute_id, merge_id = executor.submit_loop_chunk(
                 loop, start, stop, deps=pool_deps, after=last_merge_id
             )

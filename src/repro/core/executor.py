@@ -4,9 +4,10 @@
 
 .. code-block:: python
 
-    with active_context(hpx_context(num_threads=32,
-                                    chunking="persistent_auto",
-                                    prefetch=True)) as ctx:
+    with active_context(hpx_context(config=RunConfig(engine="threads",
+                                                     num_threads=32,
+                                                     chunking="persistent_auto",
+                                                     prefetch=True))) as ctx:
         airfoil.run(...)          # op_par_loop calls dispatch to ctx
     report = ctx.report()
 
@@ -22,27 +23,27 @@ every ``op_par_loop`` call
 mode (no global barriers), yielding the makespan/bandwidth numbers the
 benchmark harness compares against the OpenMP-style baseline.
 
-Execution modes
----------------
-``execution="simulate"`` (default) runs every loop eagerly and only *models*
-the chunk DAG.  ``execution="threads"`` runs it: chunks become real tasks on
-a :class:`~repro.runtime.pool_executor.PoolExecutor` of ``num_threads`` OS
-workers, gated by the same dependency edges, with merges committed in
-deterministic chunk order so results stay bit-identical to the serial
-backend (global reductions are synchronisation points: their loop completes
-before ``op_par_loop`` returns, since applications read the reduction target
-right after the call).  The report then carries the measured wall-clock time
-next to the simulated makespan.
+Execution engines
+-----------------
+The numerical substrate is a pluggable :mod:`repro.engines` engine selected
+by name (``engine="simulate"`` is the default) -- either through a
+:class:`~repro.engines.RunConfig` or the equivalent keywords.  The context
+never branches on the engine's *name*: every behaviour difference -- whether
+chunks are deferred onto the engine at all, whether the dependency tracker
+adds strict-commit edges, whether a loop writing a non-reduction global must
+fall back to eager parent execution inside a drained window, which
+submission style the loop runner uses -- derives from the engine's
+:class:`~repro.engines.EngineCapabilities`.  Registering a new engine via
+:func:`repro.engines.register_engine` therefore makes it available here with
+no changes to this module.
 
-``execution="processes"`` runs the same chunk DAG on ``num_threads`` worker
-*processes* (a :class:`~repro.runtime.process_pool.ProcessChunkEngine`): dats
-live in shared-memory segments so workers gather/scatter in place, chunks
-dispatch by registered kernel name, and the deterministic merge chain carries
-global-reduction contributions back to the parent -- past the GIL that caps
-the threaded engine on small NumPy kernels.  Loops with non-reduction global
-writes (``OP_WRITE``/``OP_RW`` on a global) are executed eagerly in the
-parent at a drained barrier, since their kernels must observe the live
-global value.
+The built-in engines: ``simulate`` models the DAG while loops run eagerly;
+``threads`` runs chunks on a :class:`~repro.runtime.pool_executor.
+PoolExecutor` of OS workers with deterministic chunk-order merges;
+``processes`` runs them on worker processes over shared-memory dats
+(:class:`~repro.runtime.process_pool.ProcessChunkEngine`), past the GIL.
+The legacy ``execution="..."`` kwarg still works as a deprecation shim
+resolving through the engine registry.
 """
 
 from __future__ import annotations
@@ -55,20 +56,20 @@ from repro.core.dataflow_loop import DataflowLoopRunner, LoopRecord
 from repro.core.interleaving import DependencyTracker
 from repro.core.optimizer import OptimizationConfig
 from repro.core.persistent_chunking import ChunkPlanner
-from repro.errors import OP2BackendError
-from repro.op2.context import (
-    EXECUTION_MODES,
-    BackendReport,
-    ExecutionContext,
-    register_backend,
+from repro.engines import (
+    ExecutionEngine,
+    RunConfig,
+    engine_capabilities,
+    make_engine,
+    resolve_run_config,
 )
+from repro.errors import OP2BackendError
+from repro.op2.context import BackendReport, ExecutionContext, register_backend
 from repro.op2.dat import OpDat
 from repro.op2.par_loop import ParLoop
 from repro.op2.access import AccessMode
 from repro.runtime.chunking import ChunkSizePolicy
 from repro.runtime.future import SharedFuture
-from repro.runtime.pool_executor import PoolExecutor
-from repro.runtime.process_pool import ProcessChunkEngine
 from repro.sim.cost import KernelCostModel
 from repro.sim.machine import Machine
 from repro.sim.scheduler_sim import ScheduleMode, TaskGraph, simulate_schedule
@@ -85,71 +86,103 @@ class HPXContext(ExecutionContext):
         self,
         *,
         machine: Union[Machine, str, None] = None,
-        num_threads: int = 16,
-        chunking: Union[str, ChunkSizePolicy] = "auto",
-        prefetch: bool = False,
+        config: Union[RunConfig, OptimizationConfig, None] = None,
+        engine: Optional[str] = None,
+        num_threads: Optional[int] = None,
+        chunking: Union[str, ChunkSizePolicy, None] = None,
+        prefetch: Optional[bool] = None,
         prefetch_distance_factor: Optional[int] = None,
-        interleave: bool = True,
-        interval_sets: bool = True,
-        async_tasking: bool = True,
-        config: Optional[OptimizationConfig] = None,
-        prefer_vectorized: bool = True,
-        execution: str = "simulate",
+        interleave: Optional[bool] = None,
+        interval_sets: Optional[bool] = None,
+        async_tasking: Optional[bool] = None,
+        prefer_vectorized: Optional[bool] = None,
+        execution: Optional[str] = None,
     ) -> None:
         super().__init__()
-        if execution not in EXECUTION_MODES:
+        # ``config`` accepts the new typed RunConfig or -- for optimisation
+        # ablations -- a bare OptimizationConfig (the historical meaning).
+        optimization: Optional[OptimizationConfig] = None
+        base_config: Optional[RunConfig] = None
+        if isinstance(config, RunConfig):
+            base_config = config
+        elif isinstance(config, OptimizationConfig):
+            optimization = config
+        elif config is not None:
             raise OP2BackendError(
-                f"unknown execution mode {execution!r}; choose from {EXECUTION_MODES}"
+                f"config must be a RunConfig or an OptimizationConfig, "
+                f"got {type(config).__name__}"
             )
+        run_config = resolve_run_config(
+            base_config,
+            execution=execution,
+            engine=engine,
+            num_threads=num_threads,
+            chunking=chunking,
+            prefetch=prefetch,
+            prefetch_distance_factor=prefetch_distance_factor,
+            interleave=interleave,
+            interval_sets=interval_sets,
+            async_tasking=async_tasking,
+            prefer_vectorized=prefer_vectorized,
+        )
+        self.run_config = run_config
+        #: capability record of the configured engine; resolving it here
+        #: gives unknown engine names the uniform registry error at
+        #: construction time, before any work is accepted
+        self.capabilities = engine_capabilities(run_config.engine)
+
         if machine is None:
             machine = Machine(DEFAULTS.machine_preset)
         elif isinstance(machine, str):
             machine = Machine(machine)
         self.machine = machine
-        self.num_threads = num_threads
-        self.execution = execution
+        self.num_threads = run_config.num_threads
 
-        if config is None:
+        if optimization is None:
+            policy = run_config.chunking
             persistent = (
-                chunking == "persistent_auto"
-                or getattr(chunking, "name", "") == "persistent_auto"
+                policy == "persistent_auto"
+                or getattr(policy, "name", "") == "persistent_auto"
             )
-            config = OptimizationConfig(
-                async_tasking=async_tasking,
-                interleaving=interleave,
+            optimization = OptimizationConfig(
+                async_tasking=run_config.async_tasking,
+                interleaving=run_config.interleave,
                 persistent_chunking=persistent,
-                prefetching=prefetch,
+                prefetching=run_config.prefetch,
                 prefetch_distance_factor=(
-                    prefetch_distance_factor
-                    if prefetch_distance_factor is not None
+                    run_config.prefetch_distance_factor
+                    if run_config.prefetch_distance_factor is not None
                     else DEFAULTS.prefetch_distance_factor
                 ),
             )
-        self.config = config
+        self.config = optimization
 
         self.cost_model = KernelCostModel(machine)
         self.task_graph = TaskGraph()
-        # In threads/processes mode the tracker adds the strict-commit edges
-        # a real pool needs (program-order increment accumulation, reader
-        # ordering against displaced writer layers) -- the price of
-        # deterministic, serial-matching results.
+        # Engines whose chunk effects commit asynchronously advertise
+        # strict_commit_order: the tracker then adds the extra edges
+        # (program-order increment accumulation, reader ordering against
+        # displaced writer layers) that keep results deterministic and
+        # serial-matching.
         self.tracker = DependencyTracker(
             chunk_granularity=self.config.interleaving,
-            interval_sets=interval_sets,
-            strict_commit_order=(execution in ("threads", "processes")),
+            interval_sets=run_config.interval_sets,
+            strict_commit_order=self.capabilities.strict_commit_order,
         )
-        self.planner = ChunkPlanner(self.cost_model, num_threads, policy=chunking)
+        self.planner = ChunkPlanner(
+            self.cost_model, self.num_threads, policy=run_config.chunking
+        )
         self.runner = DataflowLoopRunner(
             cost_model=self.cost_model,
             task_graph=self.task_graph,
             tracker=self.tracker,
             planner=self.planner,
             config=self.config,
-            prefer_vectorized=prefer_vectorized,
+            prefer_vectorized=run_config.prefer_vectorized,
         )
         self.loop_futures: dict[str, SharedFuture[OpDat]] = {}
         self.wall_seconds = 0.0
-        self._executor: Union[PoolExecutor, ProcessChunkEngine, None] = None
+        self._executor: Optional[ExecutionEngine] = None
         self._wall_start: Optional[float] = None
         self._schedule = None
 
@@ -166,12 +199,14 @@ class HPXContext(ExecutionContext):
         """Execute (or schedule) one loop; returns a shared future of its output dat."""
         if self._wall_start is None:
             self._wall_start = time.perf_counter()
-        threaded = self.execution in ("threads", "processes")
+        capabilities = self.capabilities
+        deferred = capabilities.deferred
         parent_fallback = False
-        if threaded:
-            self.runner.executor = self._ensure_executor()
+        if deferred:
+            self.runner.executor = self._ensure_engine()
             parent_fallback = (
-                self.execution == "processes" and self._has_global_write(loop)
+                not capabilities.supports_global_write
+                and self._has_global_write(loop)
             )
             if loop.has_global_reduction or parent_fallback:
                 # Globals are invisible to the dependency tracker, so a loop
@@ -181,41 +216,31 @@ class HPXContext(ExecutionContext):
                 # target right after op_par_loop returns.
                 self._executor.wait_all()
             if parent_fallback:
-                # A kernel with a WRITE/RW global must observe the live value
-                # sequentially, which only the parent owns; run the loop
-                # eagerly inside the drained window (its dats are already
-                # shared, so workers see its effects).
+                # The engine cannot host a kernel with a WRITE/RW global (its
+                # workers never observe the parent's live value), so the loop
+                # runs eagerly inside the drained window; its dats are
+                # already shared, so workers see its effects.
                 self.runner.executor = None
         future = self.runner.run(loop, phase=self.loop_count)
         self.loop_futures[f"{loop.name}@{self.loop_count}"] = future
         self.loop_count += 1
         self._schedule = None
-        if threaded and loop.has_global_reduction and not parent_fallback:
+        if deferred and loop.has_global_reduction and not parent_fallback:
             self._executor.wait_all()
         return future
 
-    def _ensure_executor(self) -> Union[PoolExecutor, ProcessChunkEngine]:
+    def _ensure_engine(self) -> ExecutionEngine:
         if self._executor is None or self._executor.is_shutdown:
             if self._executor is not None:
-                # Fresh pool after finish(): earlier chunks all completed, so
-                # edges to them are already satisfied -- drop the stale ids.
+                # Fresh engine after finish(): earlier chunks all completed,
+                # so edges to them are already satisfied -- drop the stale ids.
                 self.runner.pool_chunk_ids.clear()
-            if self.execution == "processes":
-                self._executor = ProcessChunkEngine(
-                    self.num_threads,
-                    name="hpx-chunk-procs",
-                    trace=True,
-                    prefer_vectorized=self.runner.prefer_vectorized,
-                )
-            else:
-                self._executor = PoolExecutor(
-                    self.num_threads, name="hpx-chunk-pool", trace=True
-                )
+            self._executor = make_engine(self.run_config)
         return self._executor
 
     @property
-    def executor(self) -> Union[PoolExecutor, ProcessChunkEngine, None]:
-        """The chunk pool/engine of the current run (``None`` in simulate mode)."""
+    def executor(self) -> Optional[ExecutionEngine]:
+        """The engine of the current run (``None`` before any deferred loop)."""
         return self._executor
 
     # -- reporting ------------------------------------------------------------------------
@@ -225,7 +250,7 @@ class HPXContext(ExecutionContext):
         return self.runner.records
 
     def abort(self) -> None:
-        """Cancel unstarted chunk tasks and stop the pool (threads mode)."""
+        """Cancel unstarted chunk tasks and stop the engine (deferred engines)."""
         if self._executor is not None and not self._executor.is_shutdown:
             self._executor.shutdown(wait=False)
             self.runner.executor = None
@@ -234,7 +259,7 @@ class HPXContext(ExecutionContext):
             self._wall_start = None
 
     def finish(self) -> None:
-        """Drain the pool (threads mode) and simulate the accumulated DAG."""
+        """Drain the engine (deferred engines) and simulate the accumulated DAG."""
         if self._executor is not None and not self._executor.is_shutdown:
             self._executor.shutdown(wait=True)
             self.runner.executor = None
@@ -254,7 +279,9 @@ class HPXContext(ExecutionContext):
             self.finish()
         details = {
             "config": self.config.describe(),
-            "execution": self.execution,
+            "execution": self.run_config.engine,
+            "engine": self.run_config.engine,
+            "engine_capabilities": self.capabilities.describe(),
             "chunking": "persistent_auto" if self.planner.is_persistent else "auto",
             "total_chunks": self.runner.total_chunks(),
             "total_dependencies": self.runner.total_dependencies(),
@@ -262,9 +289,12 @@ class HPXContext(ExecutionContext):
             "dependency_edges_by_loop": self.runner.dependency_edges_by_loop(),
             "tracked_dats": self.tracker.tracked_dats(),
         }
-        if isinstance(self._executor, ProcessChunkEngine):
+        # Engines without a shared address space hold dats in an arena of
+        # shared segments; surface its shape when one exists.
+        arena = getattr(self._executor, "arena", None)
+        if arena is not None:
             details["workers"] = self._executor.num_workers
-            details["shared_dats"] = len(self._executor.arena.dat_ids())
+            details["shared_dats"] = len(arena.dat_ids())
         return BackendReport(
             backend=self.backend_name,
             num_threads=self.num_threads,

@@ -12,7 +12,10 @@ Dependencies are computed on element
 accesses through a map are decomposed into sorted disjoint runs (computed
 once per chunk per map slot and cached on the :class:`~repro.op2.map.OpMap`
 keyed by its version counter), so chunks whose target sets are disjoint get
-no edge even on shuffled or renumbered meshes.  ``interval_sets=False``
+no edge even on shuffled or renumbered meshes.  A dat accessed through
+several map slots with the same access mode contributes one *union*
+interval set per chunk rather than one summary per slot -- same edges,
+fewer overlapping records to test against.  ``interval_sets=False``
 falls back to the single conservative ``[min, max]`` hull per chunk -- the
 original representation, kept as the comparison baseline for the
 renumbered-mesh benchmarks; its edges are always a superset of the
@@ -29,7 +32,7 @@ depends on every chunk of the accumulation layer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.op2.access import AccessMode
 from repro.op2.args import OpArg
@@ -124,6 +127,14 @@ class DependencyTracker:
         self.interval_sets = interval_sets
         self.strict_commit_order = strict_commit_order
         self._history: dict[int, _DatHistory] = {}
+        #: memo of the last chunk's merged access groups: record_chunk always
+        #: follows chunk_dependencies for the same chunk, so the (cheap but
+        #: not free) per-dat union of multi-slot summaries runs once per chunk.
+        #: Holds a strong reference to the loop and compares identity -- an
+        #: id()-based key could alias a dead loop's recycled id.
+        self._group_memo: Optional[
+            tuple[ParLoop, int, int, list[tuple[int, AccessMode, IntervalSet]]]
+        ] = None
 
     def _history_for(self, dat_id: int) -> _DatHistory:
         return self._history.setdefault(dat_id, _DatHistory())
@@ -148,6 +159,41 @@ class DependencyTracker:
             return "loop-granular"
         return "interval-set" if self.interval_sets else "minmax"
 
+    def _access_groups(
+        self, loop: ParLoop, start: int, stop: int
+    ) -> list[tuple[int, AccessMode, IntervalSet]]:
+        """The chunk's accesses, merged per ``(dat, access mode)``.
+
+        A dat accessed through several map slots with the same access mode
+        (e.g. ``res_calc`` incrementing ``res`` via both edge endpoints)
+        contributes *one* union :class:`IntervalSet` instead of one summary
+        per slot: the edge tests below see the same overlaps (a union
+        intersects a record iff some slot summary does) but run once per dat
+        rather than once per slot, and each chunk leaves one access record
+        per dat behind instead of several overlapping ones.  Groups keep the
+        first-appearance order of the underlying arguments.
+        """
+        memo = self._group_memo
+        if memo is not None and memo[0] is loop and memo[1:3] == (start, stop):
+            return memo[3]
+        groups: dict[tuple[int, AccessMode], IntervalSet] = {}
+        order: list[tuple[int, AccessMode]] = []
+        for arg in loop.args:
+            if arg.is_global:
+                continue
+            assert arg.dat is not None
+            key = (arg.dat.dat_id, arg.access)
+            summary = self._summary_for_arg(arg, start, stop)
+            merged = groups.get(key)
+            if merged is None:
+                groups[key] = summary
+                order.append(key)
+            else:
+                groups[key] = merged.union(summary)
+        result = [(dat_id, access, groups[dat_id, access]) for dat_id, access in order]
+        self._group_memo = (loop, start, stop, result)
+        return result
+
     # -- querying dependencies ----------------------------------------------------
     def chunk_dependencies(
         self, loop: ParLoop, start: int, stop: int, *, loop_seq: int = -1
@@ -163,14 +209,10 @@ class DependencyTracker:
         overtake while the current layer is still being laid down.
         """
         deps: set[int] = set()
-        for arg in loop.args:
-            if arg.is_global:
-                continue
-            assert arg.dat is not None
-            history = self._history_for(arg.dat.dat_id)
-            summary = self._summary_for_arg(arg, start, stop)
+        for dat_id, access, summary in self._access_groups(loop, start, stop):
+            history = self._history_for(dat_id)
             same_layer = history.writer_loop_seq == loop_seq and loop_seq >= 0
-            if arg.access is AccessMode.INC:
+            if access is AccessMode.INC:
                 # An increment joins the accumulation layer: it must wait for
                 # whatever *non-increment* writer produced the current values
                 # (and for readers, WAR), but not for fellow increments.
@@ -191,15 +233,15 @@ class DependencyTracker:
                     deps.update(self._matching(history.prev_readers, summary))
                 deps.update(self._matching(history.readers, summary))
                 continue
-            if arg.access.reads or arg.access.writes:
-                if not (same_layer and arg.access.writes and not arg.access.reads):
+            if access.reads or access.writes:
+                if not (same_layer and access.writes and not access.reads):
                     deps.update(self._matching(history.writers, summary))
-                if self.strict_commit_order and not arg.access.writes:
+                if self.strict_commit_order and not access.writes:
                     # Pure readers also stay ordered against the displaced
                     # layer: the current layer may not (yet) cover this range,
                     # in which case the true producer is a prev-layer writer.
                     deps.update(self._matching(history.prev_writers, summary))
-            if arg.access.writes:
+            if access.writes:
                 deps.update(self._matching(history.readers, summary))
                 if same_layer:
                     # Later chunks of the loop that displaced the layer: their
@@ -237,17 +279,13 @@ class DependencyTracker:
         extend the current accumulation layer instead.
 
         Must be called *after* :meth:`chunk_dependencies` for the same chunk
-        (the per-arg summaries are shared through the map-level cache, so the
-        second computation is a dictionary hit, not a re-scan).
+        (the merged per-dat groups are memoised from that call, so the second
+        computation is a dictionary hit, not a re-scan).
         """
-        for arg in loop.args:
-            if arg.is_global:
-                continue
-            assert arg.dat is not None
-            history = self._history_for(arg.dat.dat_id)
-            summary = self._summary_for_arg(arg, start, stop)
+        for dat_id, access, summary in self._access_groups(loop, start, stop):
+            history = self._history_for(dat_id)
             record = AccessRecord(task_id=task_id, intervals=summary, loop_seq=loop_seq)
-            if arg.access is AccessMode.INC:
+            if access is AccessMode.INC:
                 if not history.accumulating:
                     # Begin a new accumulation layer on top of whatever was
                     # there before.
@@ -258,7 +296,7 @@ class DependencyTracker:
                     history.accumulating = True
                 history.writer_loop_seq = loop_seq
                 history.writers.append(record)
-            elif arg.access.writes:
+            elif access.writes:
                 if history.writer_loop_seq != loop_seq or history.accumulating:
                     history.prev_writers = history.writers
                     history.prev_readers = history.readers
@@ -267,7 +305,7 @@ class DependencyTracker:
                     history.accumulating = False
                     history.writer_loop_seq = loop_seq
                 history.writers.append(record)
-            elif arg.access.reads:
+            elif access.reads:
                 history.readers.append(record)
 
     # -- statistics ---------------------------------------------------------------------

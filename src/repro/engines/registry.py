@@ -1,0 +1,184 @@
+"""Engine registry: name -> (factory, capabilities), mirroring ``register_backend``.
+
+The registry is how a new execution substrate plugs into every context at
+once: ``register_engine("my-engine", factory, capabilities=...)`` makes
+``hpx_context(engine="my-engine")`` (and ``RunConfig(engine="my-engine")``)
+work immediately, with the context deriving drain points, tracker strictness
+and submission style from the advertised capabilities alone.
+
+Factories receive the full :class:`~repro.engines.base.RunConfig` of the run
+and return an object speaking the :class:`~repro.engines.base.ExecutionEngine`
+protocol.  Capabilities must be known *without* instantiating the engine
+(contexts negotiate at construction time, long before any pool spawns), so
+they are registered alongside the factory -- either explicitly or as a
+``capabilities`` attribute on the factory.
+
+The legacy ``execution="simulate"|"threads"|"processes"`` kwarg resolves
+through this registry via :func:`resolve_legacy_execution`, which emits the
+single :class:`~repro.errors.ReproDeprecationWarning` the migration relies
+on.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.errors import OP2BackendError, ReproDeprecationWarning
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engines.base import EngineCapabilities, ExecutionEngine, RunConfig
+
+__all__ = [
+    "register_engine",
+    "unregister_engine",
+    "available_engines",
+    "engine_capabilities",
+    "make_engine",
+    "resolve_legacy_execution",
+    "resolve_run_config",
+]
+
+#: engine name -> (factory(RunConfig) -> ExecutionEngine, EngineCapabilities)
+_engine_factories: dict[str, tuple[Callable[..., "ExecutionEngine"], "EngineCapabilities"]] = {}
+_registry_lock = threading.Lock()
+
+#: the engine names every installation ships with
+BUILTIN_ENGINES = ("simulate", "threads", "processes")
+
+
+def register_engine(
+    name: str,
+    factory: Callable[..., "ExecutionEngine"],
+    *,
+    capabilities: Optional["EngineCapabilities"] = None,
+    overwrite: bool = False,
+) -> None:
+    """Register ``factory`` as execution engine ``name``.
+
+    ``capabilities`` may alternatively live on the factory itself (a
+    ``capabilities`` attribute) -- convenient when the factory is the engine
+    class.  Registering an existing name raises unless ``overwrite=True``.
+    """
+    # Load the builtins first, so registering one of their names collides
+    # loudly here instead of being silently clobbered by their (lazy,
+    # overwrite=True) self-registration later.
+    _ensure_builtin_engines()
+    if capabilities is None:
+        capabilities = getattr(factory, "capabilities", None)
+    if capabilities is None:
+        raise OP2BackendError(
+            f"engine {name!r} needs an EngineCapabilities record: pass "
+            f"capabilities=... or set a 'capabilities' attribute on the factory"
+        )
+    with _registry_lock:
+        if not overwrite and name in _engine_factories:
+            raise OP2BackendError(f"execution engine {name!r} already registered")
+        _engine_factories[name] = (factory, capabilities)
+
+
+def unregister_engine(name: str) -> None:
+    """Remove a registered engine (tests clean up their toy engines with this)."""
+    if name in BUILTIN_ENGINES:
+        raise OP2BackendError(f"built-in engine {name!r} cannot be unregistered")
+    with _registry_lock:
+        _engine_factories.pop(name, None)
+
+
+def available_engines() -> list[str]:
+    """Names of all registered execution engines, sorted."""
+    _ensure_builtin_engines()
+    with _registry_lock:
+        return sorted(_engine_factories)
+
+
+def _lookup(name: str) -> tuple[Callable[..., "ExecutionEngine"], "EngineCapabilities"]:
+    _ensure_builtin_engines()
+    with _registry_lock:
+        entry = _engine_factories.get(name)
+        if entry is None:
+            raise OP2BackendError(
+                f"unknown execution engine {name!r}; registered engines: "
+                f"{sorted(_engine_factories)}"
+            )
+        return entry
+
+
+def engine_capabilities(name: str) -> "EngineCapabilities":
+    """Capability record of engine ``name``; the uniform unknown-engine error
+    (an :class:`~repro.errors.OP2BackendError` listing the registered names)
+    raises here, so every context fails identically."""
+    return _lookup(name)[1]
+
+
+def make_engine(config: "RunConfig") -> "ExecutionEngine":
+    """Instantiate the engine named by ``config.engine``, handing it the config."""
+    factory, _capabilities = _lookup(config.engine)
+    return factory(config)
+
+
+def resolve_legacy_execution(execution: str, *, stacklevel: int = 3) -> str:
+    """Map the deprecated ``execution=`` kwarg onto an engine name.
+
+    The value *is* the engine name (the legacy mode strings were adopted as
+    the built-in engine names), so this only emits the deprecation warning;
+    validation happens when the context resolves the name through the
+    registry, giving unknown values the same uniform error as ``engine=``.
+    """
+    warnings.warn(
+        f"the execution= kwarg is deprecated; pass engine={execution!r} or "
+        f"config=RunConfig(engine={execution!r}) instead",
+        ReproDeprecationWarning,
+        stacklevel=stacklevel,
+    )
+    return execution
+
+
+def resolve_run_config(
+    config: Optional["RunConfig"] = None,
+    *,
+    execution: Optional[str] = None,
+    stacklevel: int = 5,
+    **overrides: object,
+) -> "RunConfig":
+    """Assemble the effective :class:`~repro.engines.base.RunConfig` of a context.
+
+    The one shared implementation of the contexts' keyword plumbing: start
+    from ``config`` (or a default ``RunConfig``), fold the deprecated
+    ``execution=`` kwarg through the shim into an ``engine`` override, and
+    apply every non-``None`` keyword override.  ``engine=`` and
+    ``execution=`` together are rejected.
+    """
+    from repro.engines.base import RunConfig
+
+    if config is None:
+        config = RunConfig()
+    if execution is not None:
+        if overrides.get("engine") is not None:
+            raise OP2BackendError(
+                "pass engine=... or the deprecated execution=..., not both"
+            )
+        overrides["engine"] = resolve_legacy_execution(execution, stacklevel=stacklevel)
+    effective = {key: value for key, value in overrides.items() if value is not None}
+    return config.replace(**effective) if effective else config
+
+
+#: True while the builtin module is importing (its self-registrations must
+#: not recurse into _ensure_builtin_engines)
+_builtins_loading = False
+
+
+def _ensure_builtin_engines() -> None:
+    """Import the built-in engines so they self-register."""
+    global _builtins_loading
+    if _builtins_loading:
+        return
+    with _registry_lock:
+        ready = set(BUILTIN_ENGINES) <= _engine_factories.keys()
+    if not ready:
+        _builtins_loading = True
+        try:
+            from repro.engines import builtin  # noqa: F401  (self-registering)
+        finally:
+            _builtins_loading = False

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 __all__ = [
     "ReproError",
+    "ReproDeprecationWarning",
     "RuntimeStateError",
     "FutureError",
     "FutureAlreadySatisfiedError",
@@ -39,6 +40,15 @@ __all__ = [
 
 class ReproError(Exception):
     """Base class for all library errors."""
+
+
+class ReproDeprecationWarning(DeprecationWarning):
+    """Deprecation warnings emitted by this library's own shims.
+
+    A dedicated subclass so CI can escalate exactly our deprecations to
+    errors (``-W error::repro.errors.ReproDeprecationWarning``) without
+    tripping over third-party ``DeprecationWarning`` noise.
+    """
 
 
 # ---------------------------------------------------------------------------

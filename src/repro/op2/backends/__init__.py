@@ -8,11 +8,13 @@
   :mod:`repro.core`).
 """
 
+from repro.engines import RunConfig
 from repro.op2.backends.serial import SerialContext, serial_context
 from repro.op2.backends.openmp import OpenMPContext, openmp_context
 from repro.op2.backends.hpx import hpx_context
 
 __all__ = [
+    "RunConfig",
     "SerialContext",
     "serial_context",
     "OpenMPContext",

@@ -3,11 +3,14 @@
 The implementation lives in :mod:`repro.core.executor`; this module exists so
 that backend discovery (`repro.op2.backends`) finds all three backends in one
 place and so application code can simply write
-``from repro.op2.backends import hpx_context``.
+``from repro.op2.backends import hpx_context``.  :class:`~repro.engines.
+RunConfig` is re-exported alongside, since ``hpx_context(config=RunConfig(
+engine="threads"))`` is the canonical way to pick an execution engine.
 """
 
 from __future__ import annotations
 
 from repro.core.executor import HPXContext, hpx_context
+from repro.engines import RunConfig
 
-__all__ = ["HPXContext", "hpx_context"]
+__all__ = ["HPXContext", "hpx_context", "RunConfig"]

@@ -13,6 +13,14 @@ the loop has indirect increments); for timing it contributes one
 later simulated in ``BARRIER`` mode, which models the fork/join and barrier
 overheads and the load-imbalance amplification the paper attributes to the
 OpenMP design.
+
+Like the HPX context, the baseline selects its numerical substrate from the
+:mod:`repro.engines` registry -- but it negotiates by *capability*, not by
+name: the defining property of the fork/join design is the shared-address-
+space barrier per loop, so any engine advertising
+``shared_address_space=False`` (e.g. the multiprocess engine) is rejected,
+while every shared-memory engine -- including third-party registrations --
+is accepted.
 """
 
 from __future__ import annotations
@@ -21,16 +29,17 @@ import time
 from typing import Any, Optional, Sequence, Union
 
 from repro.config import DEFAULTS
-from repro.errors import OP2BackendError
-from repro.op2.context import (
-    EXECUTION_MODES,
-    BackendReport,
-    ExecutionContext,
-    register_backend,
+from repro.engines import (
+    ExecutionEngine,
+    RunConfig,
+    engine_capabilities,
+    make_engine,
+    resolve_run_config,
 )
+from repro.errors import OP2BackendError
+from repro.op2.context import BackendReport, ExecutionContext, register_backend
 from repro.op2.par_loop import ParLoop
 from repro.op2.plan import ExecutionPlan, op_plan_get
-from repro.runtime.pool_executor import PoolExecutor
 from repro.sim.cost import KernelCostModel
 from repro.sim.machine import Machine
 from repro.sim.scheduler_sim import OmpSchedule, ScheduleMode, TaskGraph, simulate_schedule
@@ -41,11 +50,11 @@ __all__ = ["OpenMPContext", "openmp_context"]
 class OpenMPContext(ExecutionContext):
     """Fork/join execution with a global barrier after every loop.
 
-    With ``execution="threads"`` each colour's blocks really run on a worker
-    pool -- one fork/join phase per colour with a pool barrier in between,
-    exactly the structure of the generated OpenMP code -- with per-block
-    private buffers merged in block order so results match the sequential
-    colour-by-colour execution bit for bit.
+    With a deferred engine (e.g. ``engine="threads"``) each colour's blocks
+    really run on the engine -- one fork/join phase per colour with a barrier
+    in between, exactly the structure of the generated OpenMP code -- with
+    per-block private buffers merged in block order so results match the
+    sequential colour-by-colour execution bit for bit.
     """
 
     backend_name = "openmp"
@@ -54,38 +63,64 @@ class OpenMPContext(ExecutionContext):
         self,
         *,
         machine: Union[Machine, str, None] = None,
-        num_threads: int = 16,
+        config: Optional[RunConfig] = None,
+        engine: Optional[str] = None,
+        num_threads: Optional[int] = None,
         block_size: int = 256,
         omp_schedule: Union[OmpSchedule, str] = OmpSchedule.STATIC,
-        prefer_vectorized: bool = True,
-        execution: str = "simulate",
+        prefer_vectorized: Optional[bool] = None,
+        execution: Optional[str] = None,
     ) -> None:
         super().__init__()
-        # The fork/join baseline has no multiprocess variant: its defining
-        # property is the shared-address-space barrier per loop.
-        supported = tuple(mode for mode in EXECUTION_MODES if mode != "processes")
-        if execution not in supported:
+        if config is not None and not isinstance(config, RunConfig):
             raise OP2BackendError(
-                f"unknown execution mode {execution!r} for the OpenMP backend; "
-                f"choose from {supported}"
+                f"config must be a RunConfig, got {type(config).__name__}"
+            )
+        run_config = resolve_run_config(
+            config,
+            execution=execution,
+            engine=engine,
+            num_threads=num_threads,
+            prefer_vectorized=prefer_vectorized,
+        )
+        self.run_config = run_config
+        self.capabilities = engine_capabilities(run_config.engine)
+        # The fork/join baseline negotiates by capability, not by engine
+        # name: its defining property is the shared-address-space barrier
+        # per loop, and it hands the engine block *closures* -- so engines
+        # whose workers live in other address spaces, or that only accept
+        # by-name kernel dispatch, can never host it.
+        if (
+            not self.capabilities.shared_address_space
+            or self.capabilities.needs_kernel_registry
+        ):
+            reasons = []
+            if not self.capabilities.shared_address_space:
+                reasons.append("shared_address_space=False")
+            if self.capabilities.needs_kernel_registry:
+                reasons.append("needs_kernel_registry=True")
+            raise OP2BackendError(
+                f"engine {run_config.engine!r} is not usable by the OpenMP "
+                f"baseline: the fork/join design needs a shared address space "
+                f"and closure submission (the engine advertises "
+                f"{', '.join(reasons)})"
             )
         if machine is None:
             machine = Machine(DEFAULTS.machine_preset)
         elif isinstance(machine, str):
             machine = Machine(machine)
         self.machine = machine
-        self.num_threads = num_threads
+        self.num_threads = run_config.num_threads
         self.block_size = block_size
         self.omp_schedule = (
             OmpSchedule(omp_schedule) if isinstance(omp_schedule, str) else omp_schedule
         )
-        self.prefer_vectorized = prefer_vectorized
-        self.execution = execution
+        self.prefer_vectorized = run_config.prefer_vectorized
         self.cost_model = KernelCostModel(machine)
         self.task_graph = TaskGraph()
         self.executed_loops: list[str] = []
         self.wall_seconds = 0.0
-        self._executor: Optional[PoolExecutor] = None
+        self._executor: Optional[ExecutionEngine] = None
         self._wall_start: Optional[float] = None
         self._schedule = None
         self._next_phase = 0
@@ -111,7 +146,7 @@ class OpenMPContext(ExecutionContext):
             color_blocks = [plan.blocks_of_color(c) for c in range(plan.ncolors)]
         else:
             color_blocks = [list(range(plan.nblocks))]
-        if self.execution == "threads":
+        if self.capabilities.deferred:
             self._execute_colors_pooled(loop, plan, color_blocks)
         else:
             for blocks in color_blocks:
@@ -152,7 +187,7 @@ class OpenMPContext(ExecutionContext):
     def _execute_colors_pooled(
         self, loop: ParLoop, plan: ExecutionPlan, color_blocks: Sequence[Sequence[int]]
     ) -> None:
-        """Run each colour's blocks on the pool, with a barrier per colour.
+        """Run each colour's blocks on the engine, with a barrier per colour.
 
         Blocks of one colour never write the same indirect element, so their
         compute parts run concurrently; each block's scatters/reductions are
@@ -175,14 +210,14 @@ class OpenMPContext(ExecutionContext):
                 _, last_merge_id = executor.submit_chunk(prepare, after=last_merge_id)
             executor.wait_all()  # the implicit barrier closing the parallel region
 
-    def _ensure_executor(self) -> PoolExecutor:
+    def _ensure_executor(self) -> ExecutionEngine:
         if self._executor is None or self._executor.is_shutdown:
-            self._executor = PoolExecutor(self.num_threads, name="omp-block-pool")
+            self._executor = make_engine(self.run_config)
         return self._executor
 
     # -- reporting --------------------------------------------------------------------
     def abort(self) -> None:
-        """Cancel unstarted block tasks and stop the pool (threads mode)."""
+        """Cancel unstarted block tasks and stop the engine (deferred engines)."""
         if self._executor is not None and not self._executor.is_shutdown:
             self._executor.shutdown(wait=False)
         if self._wall_start is not None:
@@ -190,7 +225,7 @@ class OpenMPContext(ExecutionContext):
             self._wall_start = None
 
     def finish(self) -> None:
-        """Drain the pool (threads mode) and simulate the graph in BARRIER mode."""
+        """Drain the engine (deferred engines) and simulate the graph in BARRIER mode."""
         if self._executor is not None and not self._executor.is_shutdown:
             self._executor.shutdown(wait=True)
         if self._wall_start is not None:
@@ -219,7 +254,8 @@ class OpenMPContext(ExecutionContext):
             details={
                 "block_size": self.block_size,
                 "omp_schedule": self.omp_schedule.value,
-                "execution": self.execution,
+                "execution": self.run_config.engine,
+                "engine": self.run_config.engine,
                 "loops": list(self.executed_loops),
             },
         )

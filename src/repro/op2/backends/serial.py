@@ -4,13 +4,21 @@ Executes every ``op_par_loop`` immediately, in program order, over the whole
 iteration set.  It is the ground truth the parallel backends are compared
 against in the correctness tests, and the default context when no other
 context is active.
+
+The backend accepts the same typed :class:`~repro.engines.RunConfig` as the
+parallel contexts (``serial_context(config=...)``) so harnesses can hand one
+config object to every backend; only ``prefer_vectorized`` is meaningful
+here, but the engine name is still resolved through the registry, giving a
+mistyped engine the same uniform unknown-engine error everywhere.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Any
+from typing import Any, Optional
 
+from repro.engines import RunConfig, engine_capabilities
+from repro.errors import OP2BackendError
 from repro.op2.context import BackendReport, ExecutionContext, register_backend
 from repro.op2.par_loop import ParLoop
 
@@ -22,9 +30,22 @@ class SerialContext(ExecutionContext):
 
     backend_name = "serial"
 
-    def __init__(self, *, prefer_vectorized: bool = True) -> None:
+    def __init__(
+        self,
+        *,
+        prefer_vectorized: Optional[bool] = None,
+        config: Optional[RunConfig] = None,
+    ) -> None:
         super().__init__()
-        self.prefer_vectorized = prefer_vectorized
+        if config is not None:
+            if not isinstance(config, RunConfig):
+                raise OP2BackendError(
+                    f"config must be a RunConfig, got {type(config).__name__}"
+                )
+            engine_capabilities(config.engine)  # uniform unknown-engine error
+            if prefer_vectorized is None:
+                prefer_vectorized = config.prefer_vectorized
+        self.prefer_vectorized = True if prefer_vectorized is None else prefer_vectorized
         self.executed_loops: list[str] = []
         self.wall_seconds = 0.0
 
@@ -48,9 +69,9 @@ class SerialContext(ExecutionContext):
         )
 
 
-def serial_context(*, prefer_vectorized: bool = True) -> SerialContext:
+def serial_context(**kwargs: Any) -> SerialContext:
     """Factory for :class:`SerialContext` (registered as backend ``"serial"``)."""
-    return SerialContext(prefer_vectorized=prefer_vectorized)
+    return SerialContext(**kwargs)
 
 
 register_backend("serial", serial_context, overwrite=True)

@@ -38,8 +38,12 @@ __all__ = [
     "make_context",
 ]
 
-#: valid values of the backends' ``execution`` parameter (``"processes"``
-#: is only implemented by the HPX context; the OpenMP baseline rejects it)
+#: legacy alias kept for backward compatibility: the built-in engine names
+#: of :mod:`repro.engines`.  New code should call
+#: :func:`repro.engines.available_engines` (which also lists third-party
+#: registrations) and select engines via ``engine=`` / ``RunConfig`` instead
+#: of the deprecated ``execution=`` kwarg.  Which contexts accept which
+#: engine is decided by capability negotiation, not by this tuple.
 EXECUTION_MODES = ("simulate", "threads", "processes")
 
 

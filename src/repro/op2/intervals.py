@@ -121,6 +121,37 @@ class IntervalSet:
             return self
         return IntervalSet.from_range(self.lo, self.hi, block_shift=self.block_shift)
 
+    # -- set algebra ---------------------------------------------------------------
+    def union(self, other: "IntervalSet") -> "IntervalSet":
+        """The set covering every element of ``self`` and ``other``.
+
+        Adjacent and overlapping runs are coalesced, so the result is again a
+        canonical sorted-disjoint-run decomposition.  Used by the dependency
+        tracker to merge the per-slot summaries of a dat accessed through
+        several map slots into one record.
+        """
+        starts = np.concatenate([self.starts, other.starts])
+        stops = np.concatenate([self.stops, other.stops])
+        order = np.argsort(starts, kind="stable")
+        starts = starts[order]
+        stops = stops[order]
+        # A run begins wherever the gap to everything before it is >= 2
+        # (touching runs [a, b] and [b + 1, c] coalesce into [a, c]).
+        reach = np.maximum.accumulate(stops)
+        new_run = np.empty(len(starts), dtype=bool)
+        new_run[0] = True
+        new_run[1:] = starts[1:] > reach[:-1] + 1
+        first = np.nonzero(new_run)[0]
+        last = np.concatenate((first[1:] - 1, [len(starts) - 1]))
+        mask = (
+            self.block_mask | other.block_mask
+            if self.block_shift == other.block_shift
+            else None
+        )
+        return IntervalSet(
+            starts[first], reach[last], block_shift=self.block_shift, block_mask=mask
+        )
+
     # -- overlap tests -------------------------------------------------------------
     def overlaps(self, other: "IntervalSet") -> bool:
         """True if the two sets share at least one element."""

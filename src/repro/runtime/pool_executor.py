@@ -37,6 +37,7 @@ import threading
 from collections import deque
 from typing import Callable, Iterable, Optional
 
+from repro.engines.base import EngineCapabilities
 from repro.errors import CancelledError, RuntimeStateError, SchedulerError
 
 __all__ = ["PoolExecutor"]
@@ -69,6 +70,10 @@ class PoolExecutor:
         Record ``("start", task_id)`` / ``("done", task_id)`` events in
         :attr:`trace_events` (used by tests and the DAG-enforcement checks).
     """
+
+    #: engine-seam capability record: one interpreter, OS threads -- shared
+    #: address space, closures welcome, asynchronous (strict-order) commits
+    capabilities = EngineCapabilities()
 
     def __init__(self, num_workers: int, *, name: str = "chunk-pool", trace: bool = False) -> None:
         if num_workers <= 0:

@@ -47,6 +47,7 @@ from typing import Any, Callable, Iterable, Optional, Sequence
 
 import numpy as np
 
+from repro.engines.base import EngineCapabilities
 from repro.errors import OP2BackendError, SchedulerError
 from repro.runtime.pool_executor import PoolExecutor
 
@@ -562,6 +563,16 @@ class ProcessChunkEngine:
     dataflow runner already speak (``submit`` / ``wait_all`` /
     ``cancel_pending`` / ``shutdown`` / ``is_shutdown`` / ``trace_events``).
     """
+
+    #: engine-seam capability record: worker processes on shared-memory
+    #: segments -- no shared address space, kernel dispatch by registered
+    #: name, global writes stay in the parent, merges on their own channel
+    capabilities = EngineCapabilities(
+        shared_address_space=False,
+        needs_kernel_registry=True,
+        supports_global_write=False,
+        separate_merge_channel=True,
+    )
 
     def __init__(
         self,

@@ -228,6 +228,126 @@ class TestTrackerIntervalSets:
 
 
 # ---------------------------------------------------------------------------
+# IntervalSet.union and per-dat multi-slot merging
+# ---------------------------------------------------------------------------
+class TestIntervalSetUnion:
+    def test_union_merges_overlapping_and_touching_runs(self):
+        a = IntervalSet.from_targets([0, 1, 2, 10, 11])
+        b = IntervalSet.from_targets([3, 4, 11, 12, 20])
+        assert a.union(b).runs() == [(0, 4), (10, 12), (20, 20)]
+        assert b.union(a).runs() == [(0, 4), (10, 12), (20, 20)]
+
+    def test_union_of_disjoint_sets_keeps_runs(self):
+        evens = IntervalSet.from_targets([0, 2, 4])
+        odds = IntervalSet.from_targets([7, 9])
+        assert evens.union(odds).runs() == [(0, 0), (2, 2), (4, 4), (7, 7), (9, 9)]
+
+    def test_union_with_contained_set_is_identity(self):
+        outer = IntervalSet.from_range(0, 100)
+        inner = IntervalSet.from_targets([5, 50, 99])
+        assert outer.union(inner).runs() == [(0, 100)]
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        a=st.lists(st.integers(0, 200), min_size=1, max_size=30),
+        b=st.lists(st.integers(0, 200), min_size=1, max_size=30),
+    )
+    def test_union_equals_element_union(self, a, b):
+        union = IntervalSet.from_targets(a).union(IntervalSet.from_targets(b))
+        expected = IntervalSet.from_targets(a + b)
+        assert union == expected
+        # ... and the coarse bitmap stays consistent with the exact runs
+        assert union.block_mask == expected.block_mask
+
+
+class TestTrackerMultiSlotMerging:
+    """A dat accessed through two map slots contributes one merged record."""
+
+    @staticmethod
+    def _two_slot_loops(num_edges=16, num_cells=32):
+        edges = op_decl_set(num_edges, "edges")
+        cells = op_decl_set(num_cells, "cells")
+        values = np.stack(
+            [np.arange(num_edges), np.arange(num_edges) + num_cells // 2], axis=1
+        )
+        mapping = op_decl_map(edges, cells, 2, values, "two_slot")
+        dat = op_decl_dat(cells, 1, "double", None, "d")
+        kernel = Kernel(name="k2", elemental=lambda a, b: None)
+        inc = ParLoop(
+            kernel,
+            "inc_both_ends",
+            edges,
+            [
+                op_arg_dat(dat, 0, mapping, 1, "double", AccessMode.INC),
+                op_arg_dat(dat, 1, mapping, 1, "double", AccessMode.INC),
+            ],
+        )
+        reader = ParLoop(
+            kernel,
+            "read_both_ends",
+            edges,
+            [
+                op_arg_dat(dat, 0, mapping, 1, "double", OP_READ),
+                op_arg_dat(dat, 1, mapping, 1, "double", OP_READ),
+            ],
+        )
+        return inc, reader, dat
+
+    def test_one_record_per_dat_and_access(self):
+        inc, _reader, dat = self._two_slot_loops()
+        tracker = DependencyTracker()
+        tracker.record_chunk(inc, 0, 0, 8, task_id=0)
+        records = tracker.writer_records(dat.dat_id)
+        assert len(records) == 1  # one union record, not one per slot
+        # the union covers both endpoints' targets: [0, 8) and [16, 24)
+        assert records[0].intervals.runs() == [(0, 7), (16, 23)]
+
+    def test_merged_summaries_produce_same_edges_as_per_slot(self):
+        """The union record must yield exactly the edges the per-slot records
+        produced: reader chunks overlapping either slot's targets depend on
+        the increment chunk, disjoint ones do not."""
+        inc, reader, _dat = self._two_slot_loops()
+        tracker = DependencyTracker()
+        tracker.record_chunk(inc, 0, 0, 8, task_id=0)
+        tracker.record_chunk(inc, 0, 8, 16, task_id=1)
+        # reader chunk [0, 8) touches cells [0, 8) + [16, 24): only task 0
+        assert tracker.chunk_dependencies(reader, 0, 8, loop_seq=1) == [0]
+        assert tracker.chunk_dependencies(reader, 8, 16, loop_seq=1) == [1]
+        assert tracker.chunk_dependencies(reader, 0, 16, loop_seq=1) == [0, 1]
+
+    def test_mixed_access_modes_keep_separate_records(self):
+        """READ and INC on the same dat must not merge into one record --
+        their treatment in the dependency rules differs."""
+        num_edges, num_cells = 8, 32
+        edges = op_decl_set(num_edges, "edges")
+        cells = op_decl_set(num_cells, "cells")
+        values = np.stack(
+            [np.arange(num_edges), np.arange(num_edges) + 16], axis=1
+        )
+        mapping = op_decl_map(edges, cells, 2, values, "mixed")
+        dat = op_decl_dat(cells, 1, "double", None, "d")
+        kernel = Kernel(name="kmixed", elemental=lambda a, b: None)
+        loop = ParLoop(
+            kernel,
+            "read_one_inc_other",
+            edges,
+            [
+                op_arg_dat(dat, 0, mapping, 1, "double", OP_READ),
+                op_arg_dat(dat, 1, mapping, 1, "double", AccessMode.INC),
+            ],
+        )
+        tracker = DependencyTracker()
+        tracker.record_chunk(loop, 0, 0, num_edges, task_id=0)
+        # The INC slot alone forms the writer layer: had the READ slot been
+        # merged in, the record would span [0, 7] too.  (The READ record is
+        # displaced into the previous layer when the accumulation starts,
+        # exactly as the per-slot tracker did.)
+        assert len(tracker.writer_records(dat.dat_id)) == 1
+        assert tracker.writer_records(dat.dat_id)[0].intervals.runs() == [(16, 23)]
+        assert tracker.reader_records(dat.dat_id) == []
+
+
+# ---------------------------------------------------------------------------
 # Plan cache eviction
 # ---------------------------------------------------------------------------
 class TestPlanCacheEviction:

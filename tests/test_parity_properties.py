@@ -293,11 +293,11 @@ class TestEmptyIterset:
 
     def test_openmp_both_modes(self):
         for execution in ("simulate", "threads"):
-            assert self._loop_on_empty(openmp_context(execution=execution)) is None
+            assert self._loop_on_empty(openmp_context(engine=execution)) is None
 
     def test_hpx_both_modes(self):
         for execution in ("simulate", "threads"):
-            future = self._loop_on_empty(hpx_context(execution=execution))
+            future = self._loop_on_empty(hpx_context(engine=execution))
             assert future.get(timeout=10.0) is not None  # the (untouched) output dat
 
     def test_pool_executor_with_no_tasks(self):

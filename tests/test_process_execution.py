@@ -1,4 +1,4 @@
-"""Integration tests of ``execution="processes"``: the shared-memory
+"""Integration tests of ``engine="processes"``: the shared-memory
 multiprocess chunk-DAG engine.
 
 The contract mirrors the threaded engine's: serial-matching numerics (and
@@ -72,7 +72,7 @@ class TestHPXProcesses:
     def test_airfoil_matches_serial(self):
         reference, _ = _run_airfoil(serial_context)
         processed, context = _run_airfoil(
-            hpx_context, num_threads=4, execution="processes"
+            hpx_context, num_threads=4, engine="processes"
         )
         assert np.allclose(processed.q, reference.q, rtol=1e-12, atol=1e-14)
         assert np.allclose(processed.rms_history, reference.rms_history, rtol=1e-12)
@@ -86,8 +86,8 @@ class TestHPXProcesses:
     def test_airfoil_bit_identical_to_threaded_engine(self):
         """Same chunk plan, same deterministic merge chain, same numbers --
         the process boundary must not change a single bit."""
-        threaded, _ = _run_airfoil(hpx_context, num_threads=4, execution="threads")
-        processed, _ = _run_airfoil(hpx_context, num_threads=4, execution="processes")
+        threaded, _ = _run_airfoil(hpx_context, num_threads=4, engine="threads")
+        processed, _ = _run_airfoil(hpx_context, num_threads=4, engine="processes")
         assert np.array_equal(processed.q, threaded.q)
         assert processed.rms_history == threaded.rms_history
 
@@ -100,7 +100,7 @@ class TestHPXProcesses:
         with active_context(serial_context()):
             reference = run_airfoil(make_mesh(), niter=2, rk_steps=2)
         clear_plan_cache()
-        context = hpx_context(num_threads=4, execution="processes")
+        context = hpx_context(num_threads=4, engine="processes")
         with active_context(context):
             processed = run_airfoil(make_mesh(), niter=2, rk_steps=2)
         assert np.allclose(processed.q, reference.q, rtol=1e-12, atol=1e-14)
@@ -109,7 +109,7 @@ class TestHPXProcesses:
 
     def test_jacobi_bit_identical_to_serial(self):
         reference, _ = _run_jacobi(serial_context)
-        processed, _ = _run_jacobi(hpx_context, num_threads=4, execution="processes")
+        processed, _ = _run_jacobi(hpx_context, num_threads=4, engine="processes")
         assert np.array_equal(processed.u, reference.u)
         assert processed.u_max_history == reference.u_max_history
         assert np.allclose(
@@ -119,7 +119,7 @@ class TestHPXProcesses:
     def test_dag_edges_enforced_at_runtime(self):
         """For every DAG edge the producer's merge RPC stub must have
         finished before the consumer's compute RPC stub started."""
-        _, context = _run_airfoil(hpx_context, num_threads=4, execution="processes")
+        _, context = _run_airfoil(hpx_context, num_threads=4, engine="processes")
         trace = context.executor.trace_events
         assert trace, "process run must produce a gate-pool trace"
         start_at = {tid: n for n, (kind, tid) in enumerate(trace) if kind == "start"}
@@ -145,7 +145,7 @@ class TestHPXProcesses:
 
         clear_plan_cache()
         problem = build_ring_problem(num_nodes=64)
-        context = hpx_context(num_threads=2, execution="processes")
+        context = hpx_context(num_threads=2, engine="processes")
         with active_context(context):
             run_jacobi(problem, iterations=1)
             engine = context.executor
@@ -177,7 +177,7 @@ class TestHPXProcesses:
             name="bad_process_kernel", elemental=lambda d, gbl: None, vectorized=bad
         )
         with pytest.raises(ValueError, match="kernel exploded"):
-            with active_context(hpx_context(num_threads=2, execution="processes")):
+            with active_context(hpx_context(num_threads=2, engine="processes")):
                 op_par_loop(
                     kernel,
                     "bad_process_kernel",
@@ -200,7 +200,7 @@ class TestHPXProcesses:
         cells = op_decl_set(128, "cells")
         dat = op_decl_dat(cells, 1, "double", np.ones(128), "d")
         g = np.zeros(1)
-        context = hpx_context(num_threads=2, execution="processes")
+        context = hpx_context(num_threads=2, engine="processes")
         with active_context(context):
             # Force the pool (and its forked registries) into existence first.
             op_par_loop(
@@ -229,7 +229,7 @@ class TestHPXProcesses:
     def test_abort_on_application_error_stops_pool_and_workers(self):
         clear_plan_cache()
         problem = build_ring_problem(num_nodes=64)
-        context = hpx_context(num_threads=2, execution="processes")
+        context = hpx_context(num_threads=2, engine="processes")
         with pytest.raises(RuntimeError, match="app failed"):
             with active_context(context):
                 run_jacobi(problem, iterations=1)
@@ -243,7 +243,7 @@ class TestHPXProcesses:
     def test_context_reusable_after_report(self):
         clear_plan_cache()
         problem = build_ring_problem(num_nodes=64)
-        context = hpx_context(num_threads=2, execution="processes")
+        context = hpx_context(num_threads=2, engine="processes")
         with active_context(context):
             run_jacobi(problem, iterations=1)
         first = context.report().loops_executed
@@ -295,7 +295,7 @@ class TestHPXProcesses:
                 op_arg_dat(dst, -1, OP_ID, 1, "double", OP_WRITE),
             )
 
-        context = hpx_context(num_threads=2, execution="processes")
+        context = hpx_context(num_threads=2, engine="processes")
         with active_context(context):
             run_once()
             gather_map.set_values(forward[::-1].copy())
@@ -322,7 +322,7 @@ class TestHPXProcesses:
         original = Kernel(name="duplicate_name_kernel", elemental=first_elem)
         Kernel(name="duplicate_name_kernel", elemental=second_elem)  # displaces it
         with pytest.raises(OP2BackendError, match="different kernel object"):
-            with active_context(hpx_context(num_threads=2, execution="processes")):
+            with active_context(hpx_context(num_threads=2, engine="processes")):
                 op_par_loop(
                     original,
                     "dup",
@@ -345,7 +345,7 @@ class TestHPXProcesses:
             d[0] = 1.0
 
         Kernel(name="shadowed_process_kernel", elemental=pre_fork_elem)
-        context = hpx_context(num_threads=2, execution="processes")
+        context = hpx_context(num_threads=2, engine="processes")
         with pytest.raises(OP2BackendError, match="must be unique"):
             with active_context(context):
                 # Force the fork (workers inherit the pre-fork binding).
@@ -381,7 +381,7 @@ class TestHPXProcesses:
 
         clear_plan_cache()
         problem = build_ring_problem(num_nodes=200)
-        context = hpx_context(num_threads=2, execution="processes")
+        context = hpx_context(num_threads=2, engine="processes")
         engine = ProcessChunkEngine(
             2, name="spawn-parity", trace=True, start_method="spawn"
         )
@@ -395,7 +395,7 @@ class TestHPXProcesses:
         from repro.errors import OP2BackendError
 
         with pytest.raises(OP2BackendError, match="processes"):
-            openmp_context(execution="processes")
+            openmp_context(engine="processes")
 
 
 class TestHarnessProcesses:
@@ -403,7 +403,7 @@ class TestHarnessProcesses:
 
     def test_processes_experiment_is_numerically_correct(self):
         config = ExperimentConfig(
-            backend="hpx", num_threads=4, execution="processes", workload=self.WORKLOAD
+            backend="hpx", num_threads=4, engine="processes", workload=self.WORKLOAD
         )
         result = run_airfoil_experiment(config)
         assert result.numerically_correct
@@ -476,7 +476,7 @@ class TestBackendReportEdges:
             elemental=lambda s, d: d.__setitem__(0, s[0]),
             vectorized=copy_vec,
         )
-        context = hpx_context(num_threads=2, execution="processes")
+        context = hpx_context(num_threads=2, engine="processes")
         with active_context(context):
             op_par_loop(
                 kernel,

@@ -1,4 +1,4 @@
-"""Integration tests of ``execution="threads"``: real pools, real DAG edges.
+"""Integration tests of ``engine="threads"``: real pools, real DAG edges.
 
 The threaded engine must (a) reproduce the serial backend's numbers --
 bit-identically for loops with a single scatter stream, to tight tolerance
@@ -52,11 +52,11 @@ def _run_jacobi(factory, **kwargs):
 class TestHPXThreads:
     def test_rejects_unknown_execution_mode(self):
         with pytest.raises(OP2BackendError):
-            hpx_context(execution="warp-drive")
+            hpx_context(engine="warp-drive")
 
     def test_airfoil_matches_serial(self):
         reference, _ = _run_airfoil(serial_context)
-        threaded, context = _run_airfoil(hpx_context, num_threads=4, execution="threads")
+        threaded, context = _run_airfoil(hpx_context, num_threads=4, engine="threads")
         assert np.allclose(threaded.q, reference.q, rtol=1e-12, atol=1e-14)
         assert np.allclose(threaded.rms_history, reference.rms_history, rtol=1e-12)
         report = context.report()
@@ -65,8 +65,8 @@ class TestHPXThreads:
         assert report.makespan_seconds > 0.0  # simulated makespan alongside
 
     def test_airfoil_is_deterministic_across_runs(self):
-        first, _ = _run_airfoil(hpx_context, num_threads=4, execution="threads")
-        second, _ = _run_airfoil(hpx_context, num_threads=4, execution="threads")
+        first, _ = _run_airfoil(hpx_context, num_threads=4, engine="threads")
+        second, _ = _run_airfoil(hpx_context, num_threads=4, engine="threads")
         assert np.array_equal(first.q, second.q)
         assert first.rms_history == second.rms_history
 
@@ -82,7 +82,7 @@ class TestHPXThreads:
         with active_context(serial_context()):
             reference = run_airfoil(make_mesh(), niter=2, rk_steps=2)
         clear_plan_cache()
-        context = hpx_context(num_threads=4, execution="threads")
+        context = hpx_context(num_threads=4, engine="threads")
         with active_context(context):
             threaded = run_airfoil(make_mesh(), niter=2, rk_steps=2)
         assert np.allclose(threaded.q, reference.q, rtol=1e-12, atol=1e-14)
@@ -92,7 +92,7 @@ class TestHPXThreads:
     def test_jacobi_bit_identical_to_serial(self):
         """Single scatter stream per loop => bit-identical to the serial run."""
         reference, _ = _run_jacobi(serial_context)
-        threaded, _ = _run_jacobi(hpx_context, num_threads=4, execution="threads")
+        threaded, _ = _run_jacobi(hpx_context, num_threads=4, engine="threads")
         assert np.array_equal(threaded.u, reference.u)
         assert threaded.u_max_history == reference.u_max_history
         assert np.allclose(threaded.u_sum_history, reference.u_sum_history, rtol=1e-12)
@@ -105,7 +105,7 @@ class TestHPXThreads:
         before the consumer's compute task started (e.g. an INC consumer
         chunk never runs before the chunks that accumulated its inputs).
         """
-        _, context = _run_airfoil(hpx_context, num_threads=4, execution="threads")
+        _, context = _run_airfoil(hpx_context, num_threads=4, engine="threads")
         trace = context.executor.trace_events
         assert trace, "threaded run must produce a pool trace"
         start_at = {tid: n for n, (kind, tid) in enumerate(trace) if kind == "start"}
@@ -129,7 +129,7 @@ class TestHPXThreads:
     def test_future_handle_is_available_without_blocking(self):
         clear_plan_cache()
         mesh = generate_mesh(20, 14)
-        with active_context(hpx_context(num_threads=2, execution="threads")):
+        with active_context(hpx_context(num_threads=2, engine="threads")):
             result = run_airfoil(mesh, niter=1, rk_steps=2, chain_futures=True)
         reference, _ = (None, None)
         clear_plan_cache()
@@ -141,7 +141,7 @@ class TestHPXThreads:
     def test_loop_future_completes_with_output_dat(self):
         clear_plan_cache()
         problem = build_ring_problem(num_nodes=64)
-        with active_context(hpx_context(num_threads=2, execution="threads")) as ctx:
+        with active_context(hpx_context(num_threads=2, engine="threads")) as ctx:
             run_jacobi(problem, iterations=1)
             future = next(iter(ctx.loop_futures.values()))
             assert isinstance(future, HandleFuture)
@@ -162,7 +162,7 @@ class TestHPXThreads:
 
         kernel = Kernel(name="bad", elemental=lambda d, gbl: None, vectorized=bad)
         with pytest.raises(ValueError, match="kernel exploded"):
-            with active_context(hpx_context(num_threads=2, execution="threads")):
+            with active_context(hpx_context(num_threads=2, engine="threads")):
                 op_par_loop(
                     kernel,
                     "bad",
@@ -174,7 +174,7 @@ class TestHPXThreads:
     def test_abort_on_application_error_stops_pool(self):
         clear_plan_cache()
         problem = build_ring_problem(num_nodes=64)
-        context = hpx_context(num_threads=2, execution="threads")
+        context = hpx_context(num_threads=2, engine="threads")
         with pytest.raises(RuntimeError, match="app failed"):
             with active_context(context):
                 run_jacobi(problem, iterations=1)
@@ -185,7 +185,7 @@ class TestHPXThreads:
         """finish() drains and retires the pool; new loops get a fresh one."""
         clear_plan_cache()
         problem = build_ring_problem(num_nodes=64)
-        context = hpx_context(num_threads=2, execution="threads")
+        context = hpx_context(num_threads=2, engine="threads")
         with active_context(context):
             run_jacobi(problem, iterations=1)
         first = context.report().loops_executed
@@ -197,11 +197,11 @@ class TestHPXThreads:
 class TestOpenMPThreads:
     def test_rejects_unknown_execution_mode(self):
         with pytest.raises(OP2BackendError):
-            openmp_context(execution="nope")
+            openmp_context(engine="nope")
 
     def test_airfoil_bit_identical_to_sequential_colour_execution(self):
         simulated, _ = _run_airfoil(openmp_context, num_threads=4)
-        pooled, context = _run_airfoil(openmp_context, num_threads=4, execution="threads")
+        pooled, context = _run_airfoil(openmp_context, num_threads=4, engine="threads")
         assert np.array_equal(pooled.q, simulated.q)
         report = context.report()
         assert report.details["execution"] == "threads"
@@ -209,7 +209,7 @@ class TestOpenMPThreads:
 
     def test_airfoil_matches_serial(self):
         reference, _ = _run_airfoil(serial_context)
-        pooled, _ = _run_airfoil(openmp_context, num_threads=4, execution="threads")
+        pooled, _ = _run_airfoil(openmp_context, num_threads=4, engine="threads")
         assert np.allclose(pooled.q, reference.q, rtol=1e-10, atol=1e-12)
 
 
@@ -218,7 +218,7 @@ class TestHarness:
 
     def test_threads_experiment_is_numerically_correct(self):
         config = ExperimentConfig(
-            backend="hpx", num_threads=4, execution="threads", workload=self.WORKLOAD
+            backend="hpx", num_threads=4, engine="threads", workload=self.WORKLOAD
         )
         result = run_airfoil_experiment(config)
         assert result.numerically_correct
@@ -241,7 +241,7 @@ class TestHarness:
         config = ExperimentConfig(
             backend="hpx", num_threads=4, workload=self.WORKLOAD
         )
-        comparison = run_wallclock_comparison(config, executions=("simulate",))
+        comparison = run_wallclock_comparison(config, engines=("simulate",))
         assert set(comparison) == {"simulate"}
 
     def test_thread_sweep_cross_checks_by_default(self):
@@ -254,7 +254,7 @@ class TestHarness:
 
     def test_renumbered_sweep_reports_edge_counts_per_mode(self):
         config = ExperimentConfig(
-            backend="hpx", num_threads=4, execution="threads", workload=self.WORKLOAD
+            backend="hpx", num_threads=4, engine="threads", workload=self.WORKLOAD
         )
         sweep = run_renumbered_sweep(config, renumberings=("shuffle",), seed=2)
         assert set(sweep) == {"none", "shuffle"}
