@@ -14,7 +14,6 @@ import dataclasses
 
 from conftest import BENCH_WORKLOAD
 
-from repro.bench.harness import ExperimentConfig, run_airfoil_experiment
 from repro.sim.machine import Machine, MachineConfig
 
 

@@ -37,7 +37,7 @@ p_bound   boundary condition flag (dim 1, int)   ``op_decl_dat``
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np

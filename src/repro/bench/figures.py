@@ -20,7 +20,7 @@ from repro.bench.harness import (
     run_thread_sweep,
 )
 from repro.runtime.policies import execution_policy_table
-from repro.sim.metrics import BandwidthSeries, ScalingSeries, speedup_series
+from repro.sim.metrics import BandwidthSeries, ScalingSeries
 
 __all__ = [
     "FigureResult",

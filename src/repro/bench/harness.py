@@ -19,8 +19,10 @@ dependency-edge counts and wall-clock side by side.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field, replace
-from typing import Callable, Optional, Sequence, Union
+from pathlib import Path
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -45,6 +47,7 @@ __all__ = [
     "run_thread_sweep",
     "run_wallclock_comparison",
     "run_renumbered_sweep",
+    "persist_comparison",
 ]
 
 #: default thread counts of the paper's figures (HT enabled after 16)
@@ -228,12 +231,59 @@ def run_airfoil_experiment(config: ExperimentConfig, *, check_correctness: bool 
     )
 
 
+def _serial_baseline(config: ExperimentConfig) -> dict[str, float]:
+    """Measured wall-clock entry of the serial reference backend."""
+    clear_plan_cache()
+    mesh = _build_mesh(config)
+    context = serial_context()
+    with active_context(context):
+        run_airfoil(mesh, niter=config.workload.niter, rk_steps=config.workload.rk_steps)
+    report = context.report()
+    return {
+        "makespan_seconds": 0.0,  # nothing is simulated for the serial backend
+        "wall_seconds": report.wall_seconds,
+        "numerically_correct": 1.0,  # it *is* the reference
+    }
+
+
+def persist_comparison(
+    comparison: dict[str, dict[str, float]],
+    base_config: ExperimentConfig,
+    path: Union[str, Path],
+) -> Path:
+    """Write a wall-clock comparison as a ``BENCH_*.json`` trajectory file.
+
+    The file records the workload and configuration next to the series so a
+    later run on the same machine is comparable; committing it beside the
+    code is what makes performance regressions visible across PRs.
+    """
+    workload = base_config.workload
+    payload = {
+        "benchmark": "wallclock_comparison",
+        "backend": base_config.backend,
+        "num_threads": base_config.num_threads,
+        "machine_preset": base_config.machine_preset,
+        "workload": {
+            "nx": workload.nx,
+            "ny": workload.ny,
+            "niter": workload.niter,
+            "rk_steps": workload.rk_steps,
+        },
+        "series": comparison,
+    }
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
 def run_wallclock_comparison(
     base_config: ExperimentConfig,
     *,
     engines: Optional[Sequence[str]] = None,
     executions: Optional[Sequence[str]] = None,
     check_correctness: bool = True,
+    include_serial: bool = False,
+    persist_path: Union[str, Path, None] = None,
 ) -> dict[str, dict[str, float]]:
     """Run ``base_config`` under every execution engine; report makespan
     *and* wall time.
@@ -246,6 +296,12 @@ def run_wallclock_comparison(
     sanity check that the modelled dataflow overlap corresponds to a real,
     correct execution.  (``executions`` is the deprecated alias of
     ``engines``.)
+
+    ``include_serial`` adds a ``"serial"`` entry measured on the serial
+    reference backend (wall clock only).  ``persist_path`` additionally
+    writes the comparison to a ``BENCH_*.json`` file via
+    :func:`persist_comparison`, leaving a perf trajectory behind for the
+    next reviewer.
     """
     if executions is not None:
         if engines is not None:
@@ -254,6 +310,8 @@ def run_wallclock_comparison(
     if engines is None:
         engines = available_engines()
     comparison: dict[str, dict[str, float]] = {}
+    if include_serial:
+        comparison["serial"] = _serial_baseline(base_config)
     for engine in engines:
         config = replace(base_config, engine=engine)
         result = run_airfoil_experiment(config, check_correctness=check_correctness)
@@ -262,6 +320,8 @@ def run_wallclock_comparison(
             "wall_seconds": result.wall_seconds,
             "numerically_correct": float(result.numerically_correct),
         }
+    if persist_path is not None:
+        persist_comparison(comparison, base_config, persist_path)
     return comparison
 
 

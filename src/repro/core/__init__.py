@@ -4,8 +4,9 @@ The four runtime optimisation techniques of the paper map to submodules:
 
 1. **Asynchronous tasking via futures/dataflow** --
    :mod:`repro.core.futures_args` (``op_arg_dat`` returning futures, Fig. 7)
-   and :mod:`repro.core.dataflow_loop` (``op_par_loop`` as a dataflow node
-   returning a future of its output dat, Figs. 8-9).
+   and the :class:`~repro.core.pipeline.DataflowSchedulePolicy`
+   (``op_par_loop`` as a dataflow node returning a future of its output dat,
+   Figs. 8-9).
 2. **Loop interleaving** -- :mod:`repro.core.interleaving`: chunk-granular
    dependency tracking between loops, so chunks of dependent loops overlap
    (Figs. 10-11).
@@ -15,9 +16,14 @@ The four runtime optimisation techniques of the paper map to submodules:
 4. **Data prefetching** -- :mod:`repro.core.prefetch_integration`: the
    prefetching iterator inside ``for_each`` (Figs. 13-14).
 
-:mod:`repro.core.executor` combines all four into the ``hpx`` OP2 backend;
-:mod:`repro.core.optimizer` holds the knobs that switch each technique on or
-off (used by the ablation benchmarks).
+All four combine in the shared loop-lowering pipeline
+(:mod:`repro.core.pipeline`, stage artifacts in :mod:`repro.core.stages`):
+every backend context lowers loops through the same plan → analyze →
+schedule → submit stages, parameterised only by a schedule policy and the
+configured engine's capabilities.  :mod:`repro.core.executor` wraps the
+dataflow policy as the ``hpx`` OP2 backend; :mod:`repro.core.optimizer`
+holds the knobs that switch each technique on or off (used by the ablation
+benchmarks).
 """
 
 from repro.core.optimizer import OptimizationConfig
@@ -25,7 +31,26 @@ from repro.core.executor import HPXContext, hpx_context
 from repro.core.futures_args import FutureArg, op_arg_dat_async
 from repro.core.interleaving import AccessRecord, DependencyTracker
 from repro.core.persistent_chunking import ChunkPlanner
+from repro.core.pipeline import (
+    ColorForkJoinSchedulePolicy,
+    DataflowSchedulePolicy,
+    EagerSerialSchedulePolicy,
+    LoopPipeline,
+    SchedulePolicy,
+)
 from repro.core.prefetch_integration import build_prefetch_spec, make_loop_prefetcher
+from repro.core.stages import (
+    PIPELINE_STAGES,
+    AnalyzedChunk,
+    AnalyzedLoop,
+    ChunkRange,
+    ChunkSchedule,
+    ChunkTaskSpec,
+    LoopRecord,
+    LoweredLoop,
+    ReductionPlan,
+    StageEvent,
+)
 
 __all__ = [
     "OptimizationConfig",
@@ -38,4 +63,19 @@ __all__ = [
     "ChunkPlanner",
     "build_prefetch_spec",
     "make_loop_prefetcher",
+    "LoopPipeline",
+    "SchedulePolicy",
+    "DataflowSchedulePolicy",
+    "ColorForkJoinSchedulePolicy",
+    "EagerSerialSchedulePolicy",
+    "PIPELINE_STAGES",
+    "ChunkRange",
+    "LoweredLoop",
+    "AnalyzedChunk",
+    "AnalyzedLoop",
+    "ChunkTaskSpec",
+    "ReductionPlan",
+    "ChunkSchedule",
+    "LoopRecord",
+    "StageEvent",
 ]

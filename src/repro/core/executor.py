@@ -23,16 +23,14 @@ every ``op_par_loop`` call
 mode (no global barriers), yielding the makespan/bandwidth numbers the
 benchmark harness compares against the OpenMP-style baseline.
 
-Execution engines
------------------
-The numerical substrate is a pluggable :mod:`repro.engines` engine selected
-by name (``engine="simulate"`` is the default) -- either through a
-:class:`~repro.engines.RunConfig` or the equivalent keywords.  The context
-never branches on the engine's *name*: every behaviour difference -- whether
-chunks are deferred onto the engine at all, whether the dependency tracker
-adds strict-commit edges, whether a loop writing a non-reduction global must
-fall back to eager parent execution inside a drained window, which
-submission style the loop runner uses -- derives from the engine's
+The context itself is a thin adapter: all lowering lives in the shared
+:class:`~repro.core.pipeline.LoopPipeline` (plan → analyze → schedule →
+submit) under the :class:`~repro.core.pipeline.DataflowSchedulePolicy`.  The
+pipeline never branches on the engine's *name*: every behaviour difference --
+whether chunks are deferred onto the engine at all, whether the dependency
+tracker adds strict-commit edges, whether a loop writing a non-reduction
+global must fall back to eager parent execution inside a drained window,
+which submission style is used -- derives from the engine's
 :class:`~repro.engines.EngineCapabilities`.  Registering a new engine via
 :func:`repro.engines.register_engine` therefore makes it available here with
 no changes to this module.
@@ -48,31 +46,20 @@ resolving through the engine registry.
 
 from __future__ import annotations
 
-import time
 from typing import Any, Optional, Union
 
 from repro.config import DEFAULTS
-from repro.core.dataflow_loop import DataflowLoopRunner, LoopRecord
-from repro.core.interleaving import DependencyTracker
 from repro.core.optimizer import OptimizationConfig
-from repro.core.persistent_chunking import ChunkPlanner
-from repro.engines import (
-    ExecutionEngine,
-    RunConfig,
-    engine_capabilities,
-    make_engine,
-    resolve_run_config,
-)
+from repro.core.pipeline import build_dataflow_pipeline
+from repro.core.stages import LoopRecord
+from repro.engines import ExecutionEngine, RunConfig, resolve_run_config
 from repro.errors import OP2BackendError
 from repro.op2.context import BackendReport, ExecutionContext, register_backend
 from repro.op2.dat import OpDat
 from repro.op2.par_loop import ParLoop
-from repro.op2.access import AccessMode
 from repro.runtime.chunking import ChunkSizePolicy
 from repro.runtime.future import SharedFuture
-from repro.sim.cost import KernelCostModel
 from repro.sim.machine import Machine
-from repro.sim.scheduler_sim import ScheduleMode, TaskGraph, simulate_schedule
 
 __all__ = ["HPXContext", "hpx_context"]
 
@@ -126,10 +113,6 @@ class HPXContext(ExecutionContext):
             prefer_vectorized=prefer_vectorized,
         )
         self.run_config = run_config
-        #: capability record of the configured engine; resolving it here
-        #: gives unknown engine names the uniform registry error at
-        #: construction time, before any work is accepted
-        self.capabilities = engine_capabilities(run_config.engine)
 
         if machine is None:
             machine = Machine(DEFAULTS.machine_preset)
@@ -157,152 +140,66 @@ class HPXContext(ExecutionContext):
             )
         self.config = optimization
 
-        self.cost_model = KernelCostModel(machine)
-        self.task_graph = TaskGraph()
-        # Engines whose chunk effects commit asynchronously advertise
-        # strict_commit_order: the tracker then adds the extra edges
-        # (program-order increment accumulation, reader ordering against
-        # displaced writer layers) that keep results deterministic and
-        # serial-matching.
-        self.tracker = DependencyTracker(
-            chunk_granularity=self.config.interleaving,
-            interval_sets=run_config.interval_sets,
-            strict_commit_order=self.capabilities.strict_commit_order,
-        )
-        self.planner = ChunkPlanner(
-            self.cost_model, self.num_threads, policy=run_config.chunking
-        )
-        self.runner = DataflowLoopRunner(
-            cost_model=self.cost_model,
-            task_graph=self.task_graph,
-            tracker=self.tracker,
-            planner=self.planner,
-            config=self.config,
-            prefer_vectorized=run_config.prefer_vectorized,
-        )
+        self.pipeline = build_dataflow_pipeline(run_config, machine, optimization)
         self.loop_futures: dict[str, SharedFuture[OpDat]] = {}
-        self.wall_seconds = 0.0
-        self._executor: Optional[ExecutionEngine] = None
-        self._wall_start: Optional[float] = None
-        self._schedule = None
 
     # -- loop execution ----------------------------------------------------------------
-    @staticmethod
-    def _has_global_write(loop: ParLoop) -> bool:
-        """True when a *non-reduction* global argument is written (WRITE/RW)."""
-        return any(
-            arg.is_global and arg.access in (AccessMode.WRITE, AccessMode.RW)
-            for arg in loop.args
-        )
-
     def execute(self, loop: ParLoop) -> SharedFuture[OpDat]:
         """Execute (or schedule) one loop; returns a shared future of its output dat."""
-        if self._wall_start is None:
-            self._wall_start = time.perf_counter()
-        capabilities = self.capabilities
-        deferred = capabilities.deferred
-        parent_fallback = False
-        if deferred:
-            self.runner.executor = self._ensure_engine()
-            parent_fallback = (
-                not capabilities.supports_global_write
-                and self._has_global_write(loop)
-            )
-            if loop.has_global_reduction or parent_fallback:
-                # Globals are invisible to the dependency tracker, so a loop
-                # writing one is a synchronisation point both ways: earlier
-                # loops may still be *reading* the same global (no WAR edges
-                # exist for globals), and the application reads the reduction
-                # target right after op_par_loop returns.
-                self._executor.wait_all()
-            if parent_fallback:
-                # The engine cannot host a kernel with a WRITE/RW global (its
-                # workers never observe the parent's live value), so the loop
-                # runs eagerly inside the drained window; its dats are
-                # already shared, so workers see its effects.
-                self.runner.executor = None
-        future = self.runner.run(loop, phase=self.loop_count)
+        future = self.pipeline.run(loop)
+        assert future is not None  # the dataflow policy always yields futures
         self.loop_futures[f"{loop.name}@{self.loop_count}"] = future
         self.loop_count += 1
-        self._schedule = None
-        if deferred and loop.has_global_reduction and not parent_fallback:
-            self._executor.wait_all()
         return future
 
-    def _ensure_engine(self) -> ExecutionEngine:
-        if self._executor is None or self._executor.is_shutdown:
-            if self._executor is not None:
-                # Fresh engine after finish(): earlier chunks all completed,
-                # so edges to them are already satisfied -- drop the stale ids.
-                self.runner.pool_chunk_ids.clear()
-            self._executor = make_engine(self.run_config)
-        return self._executor
+    # -- pipeline views ----------------------------------------------------------------
+    @property
+    def capabilities(self):
+        """Capability record of the configured engine."""
+        return self.pipeline.capabilities
 
     @property
     def executor(self) -> Optional[ExecutionEngine]:
         """The engine of the current run (``None`` before any deferred loop)."""
-        return self._executor
+        return self.pipeline.executor
 
-    # -- reporting ------------------------------------------------------------------------
+    @property
+    def task_graph(self):
+        """The accumulated chunk-task DAG."""
+        return self.pipeline.task_graph
+
+    @property
+    def tracker(self):
+        """The chunk-granular dependency tracker."""
+        return self.pipeline.policy.tracker
+
+    @property
+    def planner(self):
+        """The chunk planner."""
+        return self.pipeline.policy.planner
+
     @property
     def loop_records(self) -> list[LoopRecord]:
         """Per-loop chunking/dependency records."""
-        return self.runner.records
+        return self.pipeline.records
 
+    @property
+    def wall_seconds(self) -> float:
+        """Wall-clock seconds spent between the first loop and finish()."""
+        return self.pipeline.wall_seconds
+
+    # -- lifecycle / reporting ---------------------------------------------------------
     def abort(self) -> None:
         """Cancel unstarted chunk tasks and stop the engine (deferred engines)."""
-        if self._executor is not None and not self._executor.is_shutdown:
-            self._executor.shutdown(wait=False)
-            self.runner.executor = None
-        if self._wall_start is not None:
-            self.wall_seconds += time.perf_counter() - self._wall_start
-            self._wall_start = None
+        self.pipeline.abort()
 
     def finish(self) -> None:
         """Drain the engine (deferred engines) and simulate the accumulated DAG."""
-        if self._executor is not None and not self._executor.is_shutdown:
-            self._executor.shutdown(wait=True)
-            self.runner.executor = None
-        if self._wall_start is not None:
-            self.wall_seconds += time.perf_counter() - self._wall_start
-            self._wall_start = None
-        if len(self.task_graph) == 0:
-            return
-        mode = ScheduleMode.DATAFLOW if self.config.async_tasking else ScheduleMode.BARRIER
-        self._schedule = simulate_schedule(
-            self.task_graph, self.machine, self.num_threads, mode
-        )
+        self.pipeline.finish()
 
     def report(self) -> BackendReport:
         """Report including the simulated DATAFLOW schedule and chunk statistics."""
-        if self._schedule is None:
-            self.finish()
-        details = {
-            "config": self.config.describe(),
-            "execution": self.run_config.engine,
-            "engine": self.run_config.engine,
-            "engine_capabilities": self.capabilities.describe(),
-            "chunking": "persistent_auto" if self.planner.is_persistent else "auto",
-            "total_chunks": self.runner.total_chunks(),
-            "total_dependencies": self.runner.total_dependencies(),
-            "dependency_mode": self.tracker.mode,
-            "dependency_edges_by_loop": self.runner.dependency_edges_by_loop(),
-            "tracked_dats": self.tracker.tracked_dats(),
-        }
-        # Engines without a shared address space hold dats in an arena of
-        # shared segments; surface its shape when one exists.
-        arena = getattr(self._executor, "arena", None)
-        if arena is not None:
-            details["workers"] = self._executor.num_workers
-            details["shared_dats"] = len(arena.dat_ids())
-        return BackendReport(
-            backend=self.backend_name,
-            num_threads=self.num_threads,
-            loops_executed=self.loop_count,
-            schedule=self._schedule,
-            wall_seconds=self.wall_seconds,
-            details=details,
-        )
+        return self.pipeline.build_report(self.backend_name)
 
 
 def hpx_context(**kwargs: Any) -> HPXContext:

@@ -16,7 +16,7 @@ producing future (when one exists).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Union
 
 from repro.op2.access import AccessMode, IdentityMap
 from repro.op2.args import OpArg, op_arg_dat

@@ -159,6 +159,19 @@ class DependencyTracker:
             return "loop-granular"
         return "interval-set" if self.interval_sets else "minmax"
 
+    def access_groups(
+        self, loop: ParLoop, start: int, stop: int
+    ) -> list[tuple[int, AccessMode, IntervalSet]]:
+        """Public view of a chunk's merged per-``(dat, access)`` summaries.
+
+        The pipeline attaches these to its ``analyze``-stage artifact so
+        observers (prefetchers, tests) can see exactly the interval sets the
+        dependency edges were derived from.  Thanks to the memo this is a
+        dictionary hit when called right after :meth:`chunk_dependencies` /
+        :meth:`record_chunk` for the same chunk.
+        """
+        return self._access_groups(loop, start, stop)
+
     def _access_groups(
         self, loop: ParLoop, start: int, stop: int
     ) -> list[tuple[int, AccessMode, IntervalSet]]:

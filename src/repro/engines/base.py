@@ -24,7 +24,7 @@ only as a deprecation shim resolving through the engine registry.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, fields
 from typing import (
     TYPE_CHECKING,
     Any,

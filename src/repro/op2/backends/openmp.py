@@ -7,12 +7,16 @@ of every loop**, because "the outputs of the computations ... cannot be
 passed to the outside of the loop" and "the threads inside the loop must wait
 to synchronize before exiting the loop".
 
-Numerically the backend executes blocks in plan order (colour by colour when
-the loop has indirect increments); for timing it contributes one
-:class:`~repro.sim.scheduler_sim.SimTask` per block to a task graph that is
-later simulated in ``BARRIER`` mode, which models the fork/join and barrier
-overheads and the load-imbalance amplification the paper attributes to the
-OpenMP design.
+The context is a thin adapter over the shared
+:class:`~repro.core.pipeline.LoopPipeline`: colouring is expressed as the
+:class:`~repro.core.pipeline.ColorForkJoinSchedulePolicy`, *a schedule
+policy*, not a separate lowering path.  The policy lowers each loop via the
+colouring plan, executes blocks colour by colour (what makes indirect
+increments race-free in the real OpenMP code), contributes one simulated
+task per block with every colour as its own fork/join phase, and later
+simulates the graph in ``BARRIER`` mode -- modelling the fork/join and
+barrier overheads and the load-imbalance amplification the paper attributes
+to the OpenMP design.
 
 Like the HPX context, the baseline selects its numerical substrate from the
 :mod:`repro.engines` registry -- but it negotiates by *capability*, not by
@@ -25,24 +29,16 @@ is accepted.
 
 from __future__ import annotations
 
-import time
-from typing import Any, Optional, Sequence, Union
+from typing import Any, Optional, Union
 
 from repro.config import DEFAULTS
-from repro.engines import (
-    ExecutionEngine,
-    RunConfig,
-    engine_capabilities,
-    make_engine,
-    resolve_run_config,
-)
+from repro.core.pipeline import build_forkjoin_pipeline
+from repro.engines import ExecutionEngine, RunConfig, resolve_run_config
 from repro.errors import OP2BackendError
 from repro.op2.context import BackendReport, ExecutionContext, register_backend
 from repro.op2.par_loop import ParLoop
-from repro.op2.plan import ExecutionPlan, op_plan_get
-from repro.sim.cost import KernelCostModel
 from repro.sim.machine import Machine
-from repro.sim.scheduler_sim import OmpSchedule, ScheduleMode, TaskGraph, simulate_schedule
+from repro.sim.scheduler_sim import OmpSchedule
 
 __all__ = ["OpenMPContext", "openmp_context"]
 
@@ -84,46 +80,15 @@ class OpenMPContext(ExecutionContext):
             prefer_vectorized=prefer_vectorized,
         )
         self.run_config = run_config
-        self.capabilities = engine_capabilities(run_config.engine)
-        # The fork/join baseline negotiates by capability, not by engine
-        # name: its defining property is the shared-address-space barrier
-        # per loop, and it hands the engine block *closures* -- so engines
-        # whose workers live in other address spaces, or that only accept
-        # by-name kernel dispatch, can never host it.
-        if (
-            not self.capabilities.shared_address_space
-            or self.capabilities.needs_kernel_registry
-        ):
-            reasons = []
-            if not self.capabilities.shared_address_space:
-                reasons.append("shared_address_space=False")
-            if self.capabilities.needs_kernel_registry:
-                reasons.append("needs_kernel_registry=True")
-            raise OP2BackendError(
-                f"engine {run_config.engine!r} is not usable by the OpenMP "
-                f"baseline: the fork/join design needs a shared address space "
-                f"and closure submission (the engine advertises "
-                f"{', '.join(reasons)})"
-            )
         if machine is None:
             machine = Machine(DEFAULTS.machine_preset)
         elif isinstance(machine, str):
             machine = Machine(machine)
         self.machine = machine
         self.num_threads = run_config.num_threads
-        self.block_size = block_size
-        self.omp_schedule = (
-            OmpSchedule(omp_schedule) if isinstance(omp_schedule, str) else omp_schedule
+        self.pipeline = build_forkjoin_pipeline(
+            run_config, machine, block_size=block_size, omp_schedule=omp_schedule
         )
-        self.prefer_vectorized = run_config.prefer_vectorized
-        self.cost_model = KernelCostModel(machine)
-        self.task_graph = TaskGraph()
-        self.executed_loops: list[str] = []
-        self.wall_seconds = 0.0
-        self._executor: Optional[ExecutionEngine] = None
-        self._wall_start: Optional[float] = None
-        self._schedule = None
-        self._next_phase = 0
 
     # -- loop execution -----------------------------------------------------------
     def execute(self, loop: ParLoop) -> Any:
@@ -134,131 +99,53 @@ class OpenMPContext(ExecutionContext):
         ``#pragma omp parallel for`` over the blocks of each colour, with an
         implicit barrier between colours and after the loop.
         """
-        if self._wall_start is None:
-            self._wall_start = time.perf_counter()
-        plan = op_plan_get(loop.name, loop.iterset, self.block_size, loop.args)
-        profile = loop.kernel_profile()
-        total = max(loop.iterset.size, 1)
-
-        # Numerical execution honours colour order (colour-by-colour execution
-        # is what makes indirect increments race-free in the real OpenMP code).
-        if plan.ncolors > 1:
-            color_blocks = [plan.blocks_of_color(c) for c in range(plan.ncolors)]
-        else:
-            color_blocks = [list(range(plan.nblocks))]
-        if self.capabilities.deferred:
-            self._execute_colors_pooled(loop, plan, color_blocks)
-        else:
-            for blocks in color_blocks:
-                for block in blocks:
-                    start, stop = plan.block_range(int(block))
-                    loop.execute_block(
-                        start, stop, prefer_vectorized=self.prefer_vectorized
-                    )
-        loop._mark_outputs_modified()
-
-        # Timing: one task per block; every colour is its own fork/join phase.
-        for blocks in color_blocks:
-            phase = self._next_phase
-            self._next_phase += 1
-            for block in blocks:
-                start, stop = plan.block_range(int(block))
-                cost = self.cost_model.chunk_cost(
-                    profile,
-                    stop - start,
-                    chunk_index=int(block),
-                    position=(start / total, stop / total),
-                    spawn_overhead=False,
-                )
-                self.task_graph.add(
-                    name=f"{loop.name}#{int(block)}",
-                    loop_name=loop.name,
-                    phase=phase,
-                    chunk_index=int(block),
-                    cost=cost,
-                )
-
+        self.pipeline.run(loop)
         self.loop_count += 1
-        self.executed_loops.append(loop.name)
-        self._schedule = None  # invalidate any previous simulation
         return None
 
-    # -- pooled fork/join execution -------------------------------------------------
-    def _execute_colors_pooled(
-        self, loop: ParLoop, plan: ExecutionPlan, color_blocks: Sequence[Sequence[int]]
-    ) -> None:
-        """Run each colour's blocks on the engine, with a barrier per colour.
+    # -- pipeline views -----------------------------------------------------------
+    @property
+    def capabilities(self):
+        """Capability record of the configured engine."""
+        return self.pipeline.capabilities
 
-        Blocks of one colour never write the same indirect element, so their
-        compute parts run concurrently; each block's scatters/reductions are
-        committed by a merge task chained in block order, keeping results
-        identical to the sequential colour-by-colour execution.  The
-        ``wait_all`` after every colour is the implicit OpenMP barrier.
-        """
-        executor = self._ensure_executor()
-        prefer_vectorized = self.prefer_vectorized
-        for blocks in color_blocks:
-            last_merge_id: Optional[int] = None
-            for block in blocks:
-                start, stop = plan.block_range(int(block))
+    @property
+    def executor(self) -> Optional[ExecutionEngine]:
+        """The engine of the current run (``None`` before any deferred loop)."""
+        return self.pipeline.executor
 
-                def prepare(start: int = start, stop: int = stop) -> Any:
-                    return loop.prepare_block(
-                        start, stop, prefer_vectorized=prefer_vectorized
-                    )
+    @property
+    def task_graph(self):
+        """The accumulated block-task graph."""
+        return self.pipeline.task_graph
 
-                _, last_merge_id = executor.submit_chunk(prepare, after=last_merge_id)
-            executor.wait_all()  # the implicit barrier closing the parallel region
+    @property
+    def block_size(self) -> int:
+        """Block size handed to the colouring planner."""
+        return self.pipeline.policy.block_size
 
-    def _ensure_executor(self) -> ExecutionEngine:
-        if self._executor is None or self._executor.is_shutdown:
-            self._executor = make_engine(self.run_config)
-        return self._executor
+    @property
+    def omp_schedule(self) -> OmpSchedule:
+        """The modelled ``omp schedule(...)`` clause."""
+        return self.pipeline.policy.omp_schedule
 
-    # -- reporting --------------------------------------------------------------------
+    @property
+    def wall_seconds(self) -> float:
+        """Wall-clock seconds spent between the first loop and finish()."""
+        return self.pipeline.wall_seconds
+
+    # -- lifecycle / reporting ----------------------------------------------------
     def abort(self) -> None:
         """Cancel unstarted block tasks and stop the engine (deferred engines)."""
-        if self._executor is not None and not self._executor.is_shutdown:
-            self._executor.shutdown(wait=False)
-        if self._wall_start is not None:
-            self.wall_seconds += time.perf_counter() - self._wall_start
-            self._wall_start = None
+        self.pipeline.abort()
 
     def finish(self) -> None:
         """Drain the engine (deferred engines) and simulate the graph in BARRIER mode."""
-        if self._executor is not None and not self._executor.is_shutdown:
-            self._executor.shutdown(wait=True)
-        if self._wall_start is not None:
-            self.wall_seconds += time.perf_counter() - self._wall_start
-            self._wall_start = None
-        if len(self.task_graph) == 0:
-            return
-        self._schedule = simulate_schedule(
-            self.task_graph,
-            self.machine,
-            self.num_threads,
-            ScheduleMode.BARRIER,
-            omp_schedule=self.omp_schedule,
-        )
+        self.pipeline.finish()
 
     def report(self) -> BackendReport:
         """Report including the simulated BARRIER schedule."""
-        if self._schedule is None:
-            self.finish()
-        return BackendReport(
-            backend=self.backend_name,
-            num_threads=self.num_threads,
-            loops_executed=self.loop_count,
-            schedule=self._schedule,
-            wall_seconds=self.wall_seconds,
-            details={
-                "block_size": self.block_size,
-                "omp_schedule": self.omp_schedule.value,
-                "execution": self.run_config.engine,
-                "engine": self.run_config.engine,
-                "loops": list(self.executed_loops),
-            },
-        )
+        return self.pipeline.build_report(self.backend_name)
 
 
 def openmp_context(**kwargs: Any) -> OpenMPContext:

@@ -5,19 +5,23 @@ iteration set.  It is the ground truth the parallel backends are compared
 against in the correctness tests, and the default context when no other
 context is active.
 
-The backend accepts the same typed :class:`~repro.engines.RunConfig` as the
-parallel contexts (``serial_context(config=...)``) so harnesses can hand one
-config object to every backend; only ``prefer_vectorized`` is meaningful
-here, but the engine name is still resolved through the registry, giving a
-mistyped engine the same uniform unknown-engine error everywhere.
+The context is a thin adapter over the shared
+:class:`~repro.core.pipeline.LoopPipeline` under the
+:class:`~repro.core.pipeline.EagerSerialSchedulePolicy` (one chunk, eager
+parent execution, nothing simulated).  It accepts the same typed
+:class:`~repro.engines.RunConfig` as the parallel contexts
+(``serial_context(config=...)``) so harnesses can hand one config object to
+every backend; only ``prefer_vectorized`` is meaningful here, but the engine
+name is still resolved through the registry, giving a mistyped engine the
+same uniform unknown-engine error everywhere.
 """
 
 from __future__ import annotations
 
-import time
 from typing import Any, Optional
 
-from repro.engines import RunConfig, engine_capabilities
+from repro.core.pipeline import build_serial_pipeline
+from repro.engines import RunConfig
 from repro.errors import OP2BackendError
 from repro.op2.context import BackendReport, ExecutionContext, register_backend
 from repro.op2.par_loop import ParLoop
@@ -37,36 +41,38 @@ class SerialContext(ExecutionContext):
         config: Optional[RunConfig] = None,
     ) -> None:
         super().__init__()
-        if config is not None:
-            if not isinstance(config, RunConfig):
-                raise OP2BackendError(
-                    f"config must be a RunConfig, got {type(config).__name__}"
-                )
-            engine_capabilities(config.engine)  # uniform unknown-engine error
-            if prefer_vectorized is None:
-                prefer_vectorized = config.prefer_vectorized
-        self.prefer_vectorized = True if prefer_vectorized is None else prefer_vectorized
-        self.executed_loops: list[str] = []
-        self.wall_seconds = 0.0
+        if config is not None and not isinstance(config, RunConfig):
+            raise OP2BackendError(
+                f"config must be a RunConfig, got {type(config).__name__}"
+            )
+        self.pipeline = build_serial_pipeline(
+            config if config is not None else RunConfig(),
+            prefer_vectorized=prefer_vectorized,
+        )
 
     def execute(self, loop: ParLoop) -> Any:
         """Run the loop to completion; returns ``None``."""
-        started = time.perf_counter()
-        loop.execute_all(prefer_vectorized=self.prefer_vectorized)
-        self.wall_seconds += time.perf_counter() - started
+        self.pipeline.run(loop)
         self.loop_count += 1
-        self.executed_loops.append(loop.name)
         return None
+
+    @property
+    def prefer_vectorized(self) -> bool:
+        """Whether kernels prefer their vectorized form."""
+        return self.pipeline.prefer_vectorized
+
+    @property
+    def wall_seconds(self) -> float:
+        """Wall-clock seconds spent between the first loop and finish()."""
+        return self.pipeline.wall_seconds
+
+    def finish(self) -> None:
+        """Fold the wall clock (nothing to drain or simulate)."""
+        self.pipeline.finish()
 
     def report(self) -> BackendReport:
         """Report with loop count and wall time only (nothing is simulated)."""
-        return BackendReport(
-            backend=self.backend_name,
-            num_threads=1,
-            loops_executed=self.loop_count,
-            wall_seconds=self.wall_seconds,
-            details={"loops": list(self.executed_loops)},
-        )
+        return self.pipeline.build_report(self.backend_name)
 
 
 def serial_context(**kwargs: Any) -> SerialContext:

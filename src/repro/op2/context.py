@@ -38,13 +38,27 @@ __all__ = [
     "make_context",
 ]
 
-#: legacy alias kept for backward compatibility: the built-in engine names
-#: of :mod:`repro.engines`.  New code should call
-#: :func:`repro.engines.available_engines` (which also lists third-party
-#: registrations) and select engines via ``engine=`` / ``RunConfig`` instead
-#: of the deprecated ``execution=`` kwarg.  Which contexts accept which
-#: engine is decided by capability negotiation, not by this tuple.
-EXECUTION_MODES = ("simulate", "threads", "processes")
+def __getattr__(name: str) -> Any:
+    # Legacy alias kept for backward compatibility, derived from the engine
+    # registry so it can never go stale again.  New code should call
+    # :func:`repro.engines.available_engines` (which also lists third-party
+    # registrations) and select engines via ``engine=`` / ``RunConfig``
+    # instead of the deprecated ``execution=`` kwarg.  Which contexts accept
+    # which engine is decided by capability negotiation, not by this tuple.
+    if name == "EXECUTION_MODES":
+        import warnings
+
+        from repro.engines.registry import BUILTIN_ENGINES
+        from repro.errors import ReproDeprecationWarning
+
+        warnings.warn(
+            "EXECUTION_MODES is deprecated; call repro.engines."
+            "available_engines() and select engines via engine=/RunConfig",
+            ReproDeprecationWarning,
+            stacklevel=2,
+        )
+        return tuple(BUILTIN_ENGINES)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass

@@ -25,7 +25,7 @@ model's :class:`~repro.sim.cost.KernelProfile`.
 from __future__ import annotations
 
 import importlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.errors import OP2Error

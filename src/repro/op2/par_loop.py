@@ -11,14 +11,13 @@ HPX-style).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import OP2AccessError, OP2Error
 from repro.op2.access import AccessMode
-from repro.op2.args import ArgKind, OpArg
+from repro.op2.args import OpArg
 from repro.op2.dat import OpDat
 from repro.op2.kernel import Kernel
 from repro.op2.set import OpSet

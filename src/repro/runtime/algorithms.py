@@ -20,14 +20,13 @@ instead of blocking.
 from __future__ import annotations
 
 import time
-from typing import Any, Callable, Iterable, Optional, Sequence, TypeVar, Union
+from typing import Any, Callable, Optional, Sequence, TypeVar, Union
 
 from repro.errors import PolicyError
 from repro.runtime.chunking import (
     AutoChunkSize,
     ChunkSizePolicy,
     PersistentAutoChunkSize,
-    split_into_chunks,
 )
 from repro.runtime.future import Future, make_ready_future, when_all
 from repro.runtime.policies import ExecutionPolicy

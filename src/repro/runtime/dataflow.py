@@ -14,7 +14,6 @@ the *values* of any future arguments rather than the futures themselves.
 
 from __future__ import annotations
 
-import functools
 from typing import Any, Callable, Optional
 
 from repro.errors import SchedulerError

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import collections
 import threading
-from typing import Any, Deque, Generic, Optional, TypeVar
+from typing import Deque, Generic, Optional, TypeVar
 
 from repro.errors import RuntimeStateError
 from repro.runtime.future import Future, Promise

@@ -20,7 +20,7 @@ things instead:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterator, Optional, Sequence
 
 import numpy as np

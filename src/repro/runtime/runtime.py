@@ -18,7 +18,6 @@ from repro.runtime.scheduler import (
     ImmediateScheduler,
     TaskScheduler,
     WorkStealingScheduler,
-    get_default_scheduler,
     set_default_scheduler,
 )
 

@@ -12,8 +12,8 @@ from __future__ import annotations
 import enum
 import itertools
 import threading
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from dataclasses import dataclass
+from typing import Any, Callable
 
 from repro.errors import RuntimeStateError
 from repro.runtime.future import Future, Promise

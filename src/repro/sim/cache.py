@@ -17,8 +17,7 @@ Two levels of fidelity are provided:
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Iterable
+from dataclasses import dataclass
 
 from repro.errors import CacheConfigError
 

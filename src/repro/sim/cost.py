@@ -16,11 +16,10 @@ is exactly the claim the paper makes.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.errors import SimulationError
-from repro.sim.cache import streaming_miss_fraction
 from repro.sim.machine import Machine
 from repro.sim.memory import MemoryModel, MemoryRequest
 

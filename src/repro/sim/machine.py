@@ -9,7 +9,7 @@ all scheduling experiments.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.config import MachinePreset, get_preset

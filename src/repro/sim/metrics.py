@@ -9,7 +9,7 @@ values into those series so every benchmark computes them identically.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Mapping
 
 from repro.errors import BenchmarkError
 from repro.sim.scheduler_sim import ScheduleResult

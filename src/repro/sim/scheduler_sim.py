@@ -26,7 +26,7 @@ import enum
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Sequence
 
 from repro.errors import SimulationError
 from repro.sim.cost import ChunkCost

@@ -9,8 +9,8 @@ demonstrate loop interleaving.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Optional
+from dataclasses import dataclass
+from typing import Iterator, Optional
 
 from repro.errors import SimulationError
 

@@ -11,10 +11,10 @@ loops overlap at chunk granularity).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Optional
 
 from repro.errors import TranslatorError
-from repro.translator.ir import LoopSite, ProgramIR
+from repro.translator.ir import ProgramIR
 
 __all__ = ["Dependence", "LoopDependenceGraph", "analyse_dependences"]
 

@@ -8,7 +8,6 @@ module has no free variables and can be imported and executed as-is.
 
 from __future__ import annotations
 
-from typing import Iterable
 
 from repro.errors import TranslatorCodegenError
 from repro.translator.ir import ArgDescriptor, LoopSite, ProgramIR

@@ -9,7 +9,7 @@ the wrappers in program order.
 
 from __future__ import annotations
 
-from repro.translator.codegen_common import emit_arg, emit_header, validate_identifier, wrapper_name
+from repro.translator.codegen_common import emit_arg, emit_header, wrapper_name
 from repro.translator.ir import ProgramIR
 
 __all__ = ["generate_openmp_module"]

@@ -12,10 +12,10 @@ on Python sources using this library's API.
 from __future__ import annotations
 
 import re
-from typing import Iterator, Optional
+from typing import Iterator
 
 from repro.errors import TranslatorParseError
-from repro.translator.ir import ACCESS_NAMES, ArgDescriptor, LoopSite, ProgramIR
+from repro.translator.ir import ArgDescriptor, LoopSite, ProgramIR
 
 __all__ = ["parse_source", "strip_comments", "split_top_level", "extract_calls"]
 

@@ -8,7 +8,7 @@ import pytest
 from repro.config import SMALL_TEST_MACHINE
 from repro.op2.plan import clear_plan_cache
 from repro.runtime.scheduler import reset_default_scheduler
-from repro.sim.machine import Machine, MachineConfig
+from repro.sim.machine import Machine
 
 
 @pytest.fixture(autouse=True)

@@ -11,7 +11,6 @@ from repro.apps.airfoil.kernels import ADT_CALC, ALL_KERNELS, RES_CALC, SAVE_SOL
 from repro.apps.jacobi import build_ring_problem, run_jacobi
 from repro.core import (
     DependencyTracker,
-    HPXContext,
     OptimizationConfig,
     build_prefetch_spec,
     hpx_context,
@@ -27,7 +26,6 @@ from repro.op2.par_loop import ParLoop
 from repro.op2.plan import clear_plan_cache
 from repro.runtime.future import SharedFuture, make_ready_future
 from repro.sim.cost import KernelCostModel
-from repro.sim.machine import Machine
 from repro.sim.scheduler_sim import ScheduleMode
 
 

@@ -51,7 +51,7 @@ from repro.op2 import (
 from repro.op2.backends.hpx import hpx_context
 from repro.op2.backends.openmp import openmp_context
 from repro.op2.backends.serial import serial_context
-from repro.op2.context import EXECUTION_MODES, active_context, make_context
+from repro.op2.context import active_context, make_context
 from repro.op2.plan import clear_plan_cache
 
 
@@ -216,7 +216,18 @@ class TestRegistry:
         )
 
     def test_legacy_execution_modes_tuple_still_importable(self):
-        assert EXECUTION_MODES == ("simulate", "threads", "processes")
+        """The tuple is registry-derived now and warns on access."""
+        import repro.op2.context as context_module
+
+        with pytest.warns(ReproDeprecationWarning):
+            modes = context_module.EXECUTION_MODES
+        assert modes == ("simulate", "threads", "processes")
+
+    def test_context_module_rejects_unknown_attribute(self):
+        import repro.op2.context as context_module
+
+        with pytest.raises(AttributeError, match="no attribute 'BOGUS'"):
+            context_module.BOGUS
 
 
 # ---------------------------------------------------------------------------

@@ -17,7 +17,6 @@ from repro.apps.airfoil import generate_mesh, renumber_mesh, reverse_cuthill_mck
 from repro.core import DependencyTracker
 from repro.errors import MeshError, OP2Error, OP2MappingError
 from repro.op2 import (
-    OP_ID,
     OP_READ,
     OP_WRITE,
     IntervalSet,

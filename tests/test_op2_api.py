@@ -21,7 +21,6 @@ from repro.op2 import (
     OP_RW,
     OP_WRITE,
     Kernel,
-    OpDat,
     op_arg_dat,
     op_arg_gbl,
     op_decl_dat,
@@ -30,7 +29,6 @@ from repro.op2 import (
     op_par_loop,
     op_plan_get,
 )
-from repro.op2.access import AccessMode
 from repro.op2.context import active_context, available_backends, make_context
 from repro.op2.backends.serial import serial_context
 from repro.op2.par_loop import ParLoop

@@ -19,8 +19,6 @@ from hypothesis import strategies as st
 from repro.op2 import (
     OP_ID,
     OP_INC,
-    OP_MAX,
-    OP_MIN,
     OP_READ,
     OP_RW,
     OP_WRITE,

@@ -1,0 +1,345 @@
+"""The shared loop-lowering pipeline: stage artifacts, hooks, parity.
+
+Three groups:
+
+* **Stage artifacts** -- every artifact of :mod:`repro.core.stages` is a
+  plain dataclass, constructible and inspectable in isolation (no engine, no
+  context), so observers and future tools can rely on their shape.
+* **Pipeline behaviour** -- the stage observers fire in pipeline order with
+  the right artifact types, the schedule stage derives drain points and the
+  parent-eager fallback purely from engine capabilities, and all three
+  backend contexts expose their pipeline.
+* **Differential parity** -- every *registered* engine produces the same
+  numbers as the serial reference on Jacobi (bit-identical) and Airfoil
+  through the one shared pipeline.  This is the seed of the all-engines
+  fuzzer: a new engine registered via :func:`repro.engines.register_engine`
+  is automatically picked up here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.airfoil import generate_mesh, run_airfoil
+from repro.apps.jacobi import build_ring_problem, run_jacobi
+from repro.core.pipeline import (
+    ColorForkJoinSchedulePolicy,
+    DataflowSchedulePolicy,
+    EagerSerialSchedulePolicy,
+    LoopPipeline,
+)
+from repro.core.stages import (
+    PIPELINE_STAGES,
+    AnalyzedChunk,
+    AnalyzedLoop,
+    ChunkRange,
+    ChunkSchedule,
+    ChunkTaskSpec,
+    LoopRecord,
+    LoweredLoop,
+    ReductionPlan,
+    StageEvent,
+)
+from repro.engines import available_engines
+from repro.errors import OP2BackendError
+from repro.op2.backends.hpx import hpx_context
+from repro.op2.backends.openmp import openmp_context
+from repro.op2.backends.serial import serial_context
+from repro.op2.context import active_context
+from repro.op2.plan import clear_plan_cache
+
+
+# ---------------------------------------------------------------------------
+# Stage artifacts in isolation
+# ---------------------------------------------------------------------------
+class TestStageArtifacts:
+    def test_chunk_range_size_and_immutability(self):
+        chunk = ChunkRange(index=2, start=128, stop=192, color=1)
+        assert chunk.size == 64
+        with pytest.raises(AttributeError):
+            chunk.start = 0  # type: ignore[misc]
+
+    def test_lowered_loop_views(self):
+        class FakeSet:
+            size = 100
+
+        class FakeLoop:
+            name = "res_calc"
+            iterset = FakeSet()
+
+        lowered = LoweredLoop(
+            loop=FakeLoop(),  # type: ignore[arg-type]
+            phase=3,
+            profile=None,  # type: ignore[arg-type]
+            chunks=[ChunkRange(0, 0, 60), ChunkRange(1, 60, 100)],
+        )
+        assert lowered.name == "res_calc"
+        assert lowered.iterations == 100
+        assert lowered.chunk_sizes == [60, 40]
+        assert lowered.num_colors == 1
+
+    def test_analyzed_loop_aggregates(self):
+        lowered = LoweredLoop(
+            loop=None, phase=0, profile=None, chunks=[ChunkRange(0, 0, 10)]  # type: ignore[arg-type]
+        )
+        analyzed = AnalyzedLoop(
+            lowered=lowered,
+            chunks=[
+                AnalyzedChunk(chunk=ChunkRange(0, 0, 5), task_id=7, deps=[1, 2]),
+                AnalyzedChunk(chunk=ChunkRange(1, 5, 10), task_id=8, deps=[7]),
+            ],
+        )
+        assert analyzed.task_ids == [7, 8]
+        assert analyzed.dependency_count == 3
+
+    def test_chunk_task_spec_is_frozen(self):
+        spec = ChunkTaskSpec(
+            chunk_index=0, start=0, stop=8, sim_id=3, sim_deps=(1,), chain_start=True
+        )
+        assert spec.barrier_after is False
+        with pytest.raises(AttributeError):
+            spec.sim_id = 9  # type: ignore[misc]
+
+    def test_reduction_plan_defaults(self):
+        plan = ReductionPlan()
+        assert not plan.drain_before and not plan.drain_after
+        assert not plan.parent_eager
+
+    def test_chunk_schedule_loop_view(self):
+        lowered = LoweredLoop(loop="LOOP", phase=0, profile=None, chunks=[])  # type: ignore[arg-type]
+        schedule = ChunkSchedule(
+            analyzed=AnalyzedLoop(lowered=lowered, chunks=[]),
+            tasks=[],
+            reduction=ReductionPlan(),
+            submission="eager",
+        )
+        assert schedule.loop == "LOOP"
+
+    def test_loop_record_num_chunks(self):
+        record = LoopRecord(
+            name="update",
+            phase=1,
+            iterations=100,
+            chunk_sizes=[50, 50],
+            task_ids=[0, 1],
+            dependency_count=0,
+        )
+        assert record.num_chunks == 2
+
+    def test_stage_event_is_frozen_with_extras(self):
+        event = StageEvent(stage="lower", loop_name="l", phase=0, artifact=None)
+        assert event.seconds == 0.0
+        assert event.extra == {}
+        with pytest.raises(AttributeError):
+            event.stage = "submit"  # type: ignore[misc]
+
+    def test_stage_names(self):
+        assert PIPELINE_STAGES == ("lower", "analyze", "schedule", "submit")
+
+
+# ---------------------------------------------------------------------------
+# Pipeline behaviour through the real contexts
+# ---------------------------------------------------------------------------
+STAGE_ARTIFACT_TYPES = {
+    "lower": LoweredLoop,
+    "analyze": AnalyzedLoop,
+    "schedule": ChunkSchedule,
+}
+
+
+def _run_jacobi_with_observer(context, iterations=3):
+    events: list[StageEvent] = []
+    context.pipeline.add_observer(events.append)
+    clear_plan_cache()
+    problem = build_ring_problem(num_nodes=200)
+    with active_context(context):
+        result = run_jacobi(problem, iterations=iterations)
+    return result, events
+
+
+class TestPipelineHooks:
+    @pytest.mark.parametrize(
+        "factory", [hpx_context, openmp_context, serial_context], ids=["hpx", "openmp", "serial"]
+    )
+    def test_observer_sees_all_stages_in_order(self, factory):
+        context = factory()
+        _, events = _run_jacobi_with_observer(context)
+        assert events, "observer must fire"
+        assert len(events) % len(PIPELINE_STAGES) == 0
+        for i in range(0, len(events), 4):
+            per_loop = events[i : i + 4]
+            assert [e.stage for e in per_loop] == list(PIPELINE_STAGES)
+            # one loop per 4-event window, consistent phase
+            assert len({(e.loop_name, e.phase) for e in per_loop}) == 1
+            for event in per_loop:
+                assert event.seconds >= 0.0
+                expected = STAGE_ARTIFACT_TYPES.get(event.stage)
+                if expected is not None:
+                    assert isinstance(event.artifact, expected)
+
+    def test_observer_stage_filter(self):
+        context = hpx_context(num_threads=2)
+        schedules: list[StageEvent] = []
+        context.pipeline.add_observer(schedules.append, stages=("schedule",))
+        clear_plan_cache()
+        problem = build_ring_problem(num_nodes=100)
+        with active_context(context):
+            run_jacobi(problem, iterations=2)
+        assert schedules and all(e.stage == "schedule" for e in schedules)
+        assert all(isinstance(e.artifact, ChunkSchedule) for e in schedules)
+
+    def test_observer_rejects_unknown_stage(self):
+        context = hpx_context()
+        with pytest.raises(OP2BackendError, match="unknown pipeline stage"):
+            context.pipeline.add_observer(lambda e: None, stages=("colour",))
+
+    def test_remove_observer(self):
+        context = hpx_context()
+        events: list[StageEvent] = []
+
+        def observer(event: StageEvent) -> None:
+            events.append(event)
+
+        context.pipeline.add_observer(observer)
+        context.pipeline.remove_observer(observer)
+        clear_plan_cache()
+        problem = build_ring_problem(num_nodes=50)
+        with active_context(context):
+            run_jacobi(problem, iterations=1)
+        assert events == []
+
+    def test_analyze_artifact_carries_interval_summaries(self):
+        """The analyze stage exposes the tracker's per-(dat, access)
+        IntervalSet groups -- the prefetcher hook point."""
+        context = hpx_context(num_threads=2)
+        analyzed: list[AnalyzedLoop] = []
+        context.pipeline.add_observer(
+            lambda e: analyzed.append(e.artifact), stages=("analyze",)
+        )
+        clear_plan_cache()
+        problem = build_ring_problem(num_nodes=100)
+        with active_context(context):
+            run_jacobi(problem, iterations=1)
+        chunk = analyzed[0].chunks[0]
+        assert chunk.access_groups, "dataflow analysis must attach access groups"
+        for _dat_id, _access, intervals in chunk.access_groups:
+            assert intervals.count > 0
+
+    def test_schedule_stage_derives_drains_from_capabilities(self):
+        """Global reductions become drain points; the simulate engine (not
+        deferred) routes everything through the parent-eager path."""
+        deferred_ctx = hpx_context(num_threads=2, engine="threads")
+        eager_ctx = hpx_context(num_threads=2, engine="simulate")
+        for context, expect_deferred in ((deferred_ctx, True), (eager_ctx, False)):
+            schedules: list[ChunkSchedule] = []
+            context.pipeline.add_observer(
+                lambda e, acc=schedules: acc.append(e.artifact), stages=("schedule",)
+            )
+            clear_plan_cache()
+            problem = build_ring_problem(num_nodes=100)
+            with active_context(context):
+                run_jacobi(problem, iterations=1)
+            with_reduction = [s for s in schedules if s.reduction.has_global_reduction]
+            without = [s for s in schedules if not s.reduction.has_global_reduction]
+            assert with_reduction and without
+            if expect_deferred:
+                assert all(s.submission == "deferred" for s in schedules)
+                assert all(s.reduction.drain_before for s in with_reduction)
+                assert all(s.reduction.drain_after for s in with_reduction)
+                assert all(not s.reduction.drain_before for s in without)
+                assert all(s.tasks for s in schedules)
+            else:
+                assert all(s.submission == "eager" for s in schedules)
+                assert all(not s.tasks for s in schedules)
+
+    def test_forkjoin_schedule_barriers_per_color(self):
+        """The OpenMP policy closes every colour with a barrier."""
+        context = openmp_context(num_threads=2, engine="threads")
+        schedules: list[ChunkSchedule] = []
+        context.pipeline.add_observer(
+            lambda e: schedules.append(e.artifact), stages=("schedule",)
+        )
+        clear_plan_cache()
+        mesh = generate_mesh(20, 14)
+        with active_context(context):
+            run_airfoil(mesh, niter=1, rk_steps=1)
+        colored = [
+            s for s in schedules if s.analyzed.lowered.num_colors > 1 and s.tasks
+        ]
+        assert colored, "airfoil has multi-colour loops"
+        for schedule in colored:
+            specs = schedule.tasks
+            chunks = schedule.analyzed.lowered.chunks
+            for position, spec in enumerate(specs):
+                last_of_color = (
+                    position == len(specs) - 1
+                    or chunks[position + 1].color != chunks[position].color
+                )
+                assert spec.barrier_after == last_of_color
+                first_of_color = (
+                    position == 0
+                    or chunks[position].color != chunks[position - 1].color
+                )
+                assert spec.chain_start == first_of_color
+
+    def test_policies_exposed_by_contexts(self):
+        assert isinstance(hpx_context().pipeline.policy, DataflowSchedulePolicy)
+        assert isinstance(openmp_context().pipeline.policy, ColorForkJoinSchedulePolicy)
+        assert isinstance(serial_context().pipeline.policy, EagerSerialSchedulePolicy)
+        assert isinstance(serial_context().pipeline, LoopPipeline)
+
+    def test_serial_report_is_single_worker(self):
+        context = serial_context()
+        clear_plan_cache()
+        problem = build_ring_problem(num_nodes=50)
+        with active_context(context):
+            run_jacobi(problem, iterations=1)
+        report = context.report()
+        assert report.num_threads == 1
+        assert report.schedule is None
+        assert report.wall_seconds > 0.0
+        assert report.details["loops"]
+
+
+# ---------------------------------------------------------------------------
+# Differential parity: every registered engine vs the serial reference
+# ---------------------------------------------------------------------------
+def _serial_jacobi():
+    clear_plan_cache()
+    problem = build_ring_problem(num_nodes=400)
+    with active_context(serial_context()):
+        return run_jacobi(problem, iterations=10)
+
+
+def _serial_airfoil():
+    clear_plan_cache()
+    mesh = generate_mesh(24, 16)
+    with active_context(serial_context()):
+        return run_airfoil(mesh, niter=2, rk_steps=2)
+
+
+class TestAllEnginesParity:
+    """Seed of the ROADMAP all-engines fuzzer: every *registered* engine --
+    including third-party registrations -- must agree with serial through
+    the shared pipeline."""
+
+    @pytest.mark.parametrize("engine", available_engines())
+    def test_jacobi_bit_identical_to_serial(self, engine):
+        reference = _serial_jacobi()
+        clear_plan_cache()
+        problem = build_ring_problem(num_nodes=400)
+        with active_context(hpx_context(num_threads=4, engine=engine)):
+            result = run_jacobi(problem, iterations=10)
+        assert np.array_equal(result.u, reference.u)
+        assert result.u_max_history == reference.u_max_history
+
+    @pytest.mark.parametrize("engine", available_engines())
+    def test_airfoil_matches_serial(self, engine):
+        reference = _serial_airfoil()
+        clear_plan_cache()
+        mesh = generate_mesh(24, 16)
+        with active_context(hpx_context(num_threads=4, engine=engine)):
+            result = run_airfoil(mesh, niter=2, rk_steps=2)
+        assert np.allclose(result.q, reference.q, rtol=1e-12, atol=1e-14)
+        assert np.allclose(result.rms_history, reference.rms_history, rtol=1e-12)

@@ -124,7 +124,7 @@ class TestHPXProcesses:
         assert trace, "process run must produce a gate-pool trace"
         start_at = {tid: n for n, (kind, tid) in enumerate(trace) if kind == "start"}
         done_at = {tid: n for n, (kind, tid) in enumerate(trace) if kind == "done"}
-        pool_ids = context.runner.pool_chunk_ids
+        pool_ids = context.pipeline.pool_chunk_ids
         checked = 0
         for task in context.task_graph.tasks:
             if task.task_id not in pool_ids:

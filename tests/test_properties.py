@@ -67,7 +67,8 @@ def test_persistent_chunks_have_matching_durations(anchor_time, ratio, total, wo
     """Fig. 12 invariant: chunk duration of dependent loops equals the anchor's."""
     registry = PersistentChunkRegistry()
     policy = PersistentAutoChunkSize(registry=registry)
-    first = policy.chunk_sizes(total, workers, time_per_iteration=anchor_time, loop_key="a")
+    # the anchor loop's planning sets the registry's persistent duration
+    policy.chunk_sizes(total, workers, time_per_iteration=anchor_time, loop_key="a")
     target = registry.target_chunk_seconds
     assert target is not None
     second_time = anchor_time * ratio

@@ -15,9 +15,7 @@ from repro.errors import (
 )
 from repro.runtime.dataflow import dataflow, is_future, unwrapped
 from repro.runtime.future import (
-    Future,
     Promise,
-    SharedFuture,
     make_exceptional_future,
     make_ready_future,
     when_all,

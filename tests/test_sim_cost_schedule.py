@@ -5,8 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim.cost import ChunkCost, KernelCostModel, KernelProfile, PrefetchSpec
-from repro.sim.machine import Machine
+from repro.sim.cost import KernelCostModel, KernelProfile, PrefetchSpec
 from repro.sim.metrics import parallel_efficiency, speedup_series
 from repro.sim.scheduler_sim import OmpSchedule, ScheduleMode, TaskGraph, simulate_schedule
 from repro.sim.trace import ExecutionTrace, TaskRecord

@@ -110,7 +110,7 @@ class TestHPXThreads:
         assert trace, "threaded run must produce a pool trace"
         start_at = {tid: n for n, (kind, tid) in enumerate(trace) if kind == "start"}
         done_at = {tid: n for n, (kind, tid) in enumerate(trace) if kind == "done"}
-        pool_ids = context.runner.pool_chunk_ids
+        pool_ids = context.pipeline.pool_chunk_ids
         checked = 0
         for task in context.task_graph.tasks:
             if task.task_id not in pool_ids:
@@ -243,6 +243,29 @@ class TestHarness:
         )
         comparison = run_wallclock_comparison(config, engines=("simulate",))
         assert set(comparison) == {"simulate"}
+
+    def test_wallclock_comparison_persists_bench_json(self, tmp_path):
+        """persist_path= leaves a BENCH_*.json trajectory file behind."""
+        import json
+
+        config = ExperimentConfig(
+            backend="hpx", num_threads=4, workload=self.WORKLOAD
+        )
+        path = tmp_path / "BENCH_pipeline.json"
+        comparison = run_wallclock_comparison(
+            config,
+            engines=("simulate", "threads"),
+            include_serial=True,
+            persist_path=path,
+        )
+        assert set(comparison) == {"serial", "simulate", "threads"}
+        assert comparison["serial"]["wall_seconds"] > 0.0
+        payload = json.loads(path.read_text())
+        assert payload["benchmark"] == "wallclock_comparison"
+        assert payload["workload"]["nx"] == self.WORKLOAD.nx
+        assert set(payload["series"]) == {"serial", "simulate", "threads"}
+        for entry in payload["series"].values():
+            assert entry["numerically_correct"] == 1.0
 
     def test_thread_sweep_cross_checks_by_default(self):
         """The harness docstring promise: every sweep point is checked
