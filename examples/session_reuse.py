@@ -1,0 +1,147 @@
+"""Warm engine reuse across loop chains with an explicit ``Session``.
+
+The paper's runtime is long-lived: many loop chains share one warm executor
+instead of spinning worker threads/processes up and down per chain.  This
+example measures exactly that seam.  Each *chain* is a short Jacobi solve on
+its own fresh mesh:
+
+* **cold** -- no session: every chain's context owns a private engine, pays
+  pool spin-up on its first loop and shuts the pool down on exit (the
+  historical lifecycle);
+* **warm** -- one :class:`repro.session.Session` around all chains: the first
+  chain spins the pool up, later chains borrow the same live engine from the
+  session's pool and only *drain* it on exit.  Engines are shut down once, at
+  ``Session.close()``.
+
+The marginal chain time (chains after the first) is the number to watch: warm
+chains skip thread/process creation and teardown entirely, which dominates
+short chains on the ``processes`` engine.  Results are printed and persisted
+to ``BENCH_session_warm.json`` with git sha + timestamp metadata.
+
+Run with::
+
+    PYTHONPATH=src python examples/session_reuse.py
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.apps.jacobi import build_ring_problem, run_jacobi
+from repro.bench.harness import bench_metadata
+from repro.op2.backends.hpx import hpx_context
+from repro.op2.backends.serial import serial_context
+from repro.op2.context import active_context
+from repro.op2.plan import clear_plan_cache
+from repro.session import Session
+
+#: chains per variant; the first is the spin-up chain, the rest are marginal
+NUM_CHAINS = 4
+NUM_NODES = 2000
+ITERATIONS = 10
+
+
+def run_chain(engine: str, num_threads: int) -> tuple[float, np.ndarray]:
+    """One loop chain (fresh mesh, fresh context); returns (seconds, result)."""
+    clear_plan_cache()
+    problem = build_ring_problem(num_nodes=NUM_NODES)
+    started = time.perf_counter()
+    with active_context(hpx_context(engine=engine, num_threads=num_threads)):
+        result = run_jacobi(problem, iterations=ITERATIONS)
+    return time.perf_counter() - started, result.u
+
+
+def run_variant(engine: str, num_threads: int, *, warm: bool) -> dict:
+    """Run ``NUM_CHAINS`` chains cold (no session) or warm (one session)."""
+    chains: list[float] = []
+    outputs: list[np.ndarray] = []
+    if warm:
+        with Session(name=f"warm-{engine}") as session:
+            for _ in range(NUM_CHAINS):
+                seconds, u = run_chain(engine, num_threads)
+                chains.append(seconds)
+                outputs.append(u)
+                # One live engine serves every chain of the session.
+                assert len(session.live_engines()) == 1
+    else:
+        for _ in range(NUM_CHAINS):
+            seconds, u = run_chain(engine, num_threads)
+            chains.append(seconds)
+            outputs.append(u)
+    marginal = chains[1:]
+    return {
+        "chain_seconds": chains,
+        "first_chain_seconds": chains[0],
+        "marginal_chain_seconds_mean": sum(marginal) / len(marginal),
+        "outputs": outputs,
+    }
+
+
+def main() -> None:
+    # Serial reference: every chain, cold or warm, must reproduce it exactly.
+    clear_plan_cache()
+    with active_context(serial_context()):
+        reference = run_jacobi(
+            build_ring_problem(num_nodes=NUM_NODES), iterations=ITERATIONS
+        ).u
+
+    num_threads = 2
+    series: dict[str, dict] = {}
+    print(
+        f"{NUM_CHAINS} Jacobi chains ({NUM_NODES} nodes, {ITERATIONS} iterations), "
+        f"num_threads={num_threads}"
+    )
+    print(
+        f"{'engine':>10s} {'variant':>6s} {'first chain [ms]':>17s} "
+        f"{'marginal chain [ms]':>20s}"
+    )
+    for engine in ("threads", "processes"):
+        cold = run_variant(engine, num_threads, warm=False)
+        warm = run_variant(engine, num_threads, warm=True)
+        for variant, stats in (("cold", cold), ("warm", warm)):
+            for u in stats.pop("outputs"):
+                assert np.array_equal(u, reference), f"{engine}/{variant} diverged"
+            print(
+                f"{engine:>10s} {variant:>6s} "
+                f"{stats['first_chain_seconds'] * 1e3:17.2f} "
+                f"{stats['marginal_chain_seconds_mean'] * 1e3:20.2f}"
+            )
+        saved = (
+            cold["marginal_chain_seconds_mean"] - warm["marginal_chain_seconds_mean"]
+        )
+        ratio = (
+            cold["marginal_chain_seconds_mean"] / warm["marginal_chain_seconds_mean"]
+        )
+        print(
+            f"{engine:>10s}   warm reuse saves {saved * 1e3:.2f} ms per chain "
+            f"({ratio:.2f}x marginal speedup)\n"
+        )
+        series[engine] = {
+            "cold": cold,
+            "warm": warm,
+            "marginal_saving_seconds": saved,
+            "marginal_speedup": ratio,
+        }
+
+    payload = {
+        "benchmark": "session_warm_reuse",
+        "engine_num_threads": num_threads,
+        "metadata": bench_metadata(),
+        "workload": {
+            "chains": NUM_CHAINS,
+            "num_nodes": NUM_NODES,
+            "iterations": ITERATIONS,
+        },
+        "series": series,
+    }
+    path = Path(__file__).resolve().parent.parent / "BENCH_session_warm.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"persisted -> {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -19,7 +19,9 @@ dependency-edge counts and wall-clock side by side.
 
 from __future__ import annotations
 
+import datetime
 import json
+import subprocess
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Optional, Sequence, Union
@@ -36,6 +38,7 @@ from repro.op2.backends.hpx import hpx_context
 from repro.op2.backends.openmp import openmp_context
 from repro.op2.backends.serial import serial_context
 from repro.op2.plan import clear_plan_cache
+from repro.session import Session
 from repro.sim.machine import Machine
 from repro.sim.metrics import BandwidthSeries, ScalingSeries
 
@@ -43,6 +46,7 @@ __all__ = [
     "AirfoilWorkload",
     "ExperimentConfig",
     "ExperimentResult",
+    "bench_metadata",
     "run_airfoil_experiment",
     "run_thread_sweep",
     "run_wallclock_comparison",
@@ -200,17 +204,34 @@ def _reference_q(config: ExperimentConfig) -> tuple[np.ndarray, float]:
 _reference_cache: dict[tuple, tuple[np.ndarray, float]] = {}
 
 
-def _make_context(config: ExperimentConfig):
+def _make_context(config: ExperimentConfig, session: Optional[Session] = None):
     machine = Machine(config.machine_preset)
     if config.backend == "openmp":
-        return openmp_context(machine=machine, config=config.run_config())
+        return openmp_context(
+            machine=machine, config=config.run_config(), session=session
+        )
     if config.backend == "hpx":
-        return hpx_context(machine=machine, config=config.run_config())
+        return hpx_context(machine=machine, config=config.run_config(), session=session)
     raise BenchmarkError(f"unknown benchmark backend {config.backend!r}")
 
 
-def run_airfoil_experiment(config: ExperimentConfig, *, check_correctness: bool = True) -> ExperimentResult:
-    """Run the Airfoil workload under ``config`` and return its result."""
+def run_airfoil_experiment(
+    config: ExperimentConfig,
+    *,
+    check_correctness: bool = True,
+    session: Optional[Session] = None,
+) -> ExperimentResult:
+    """Run the Airfoil workload under ``config`` and return its result.
+
+    With ``session=`` the whole experiment (plan-cache clear, context, serial
+    cross-check) runs inside that session: the engine comes from the session's
+    warm pool and is left running afterwards.  Otherwise the context owns a
+    fresh engine, shut down when the run finishes -- so stand-alone
+    experiments still measure the cold path.
+    """
+    if session is not None:
+        with session.use():
+            return run_airfoil_experiment(config, check_correctness=check_correctness)
     workload = config.workload
     clear_plan_cache()
     mesh = _build_mesh(config)
@@ -246,16 +267,44 @@ def _serial_baseline(config: ExperimentConfig) -> dict[str, float]:
     }
 
 
+def bench_metadata() -> dict[str, str]:
+    """Provenance record attached to persisted benchmark files.
+
+    ``git_sha`` is the commit the numbers were measured at (``"unknown"``
+    outside a git checkout) and ``timestamp`` the UTC wall-clock time of the
+    run, so a committed ``BENCH_*.json`` stays interpretable after the file
+    has travelled through history.
+    """
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        sha = "unknown"
+    timestamp = datetime.datetime.now(datetime.timezone.utc).isoformat(
+        timespec="seconds"
+    )
+    return {"git_sha": sha or "unknown", "timestamp": timestamp}
+
+
 def persist_comparison(
     comparison: dict[str, dict[str, float]],
     base_config: ExperimentConfig,
     path: Union[str, Path],
+    *,
+    metadata: Optional[dict[str, str]] = None,
 ) -> Path:
     """Write a wall-clock comparison as a ``BENCH_*.json`` trajectory file.
 
     The file records the workload and configuration next to the series so a
     later run on the same machine is comparable; committing it beside the
     code is what makes performance regressions visible across PRs.
+    ``metadata`` defaults to :func:`bench_metadata` (git sha + timestamp).
     """
     workload = base_config.workload
     payload = {
@@ -263,6 +312,7 @@ def persist_comparison(
         "backend": base_config.backend,
         "num_threads": base_config.num_threads,
         "machine_preset": base_config.machine_preset,
+        "metadata": metadata if metadata is not None else bench_metadata(),
         "workload": {
             "nx": workload.nx,
             "ny": workload.ny,
@@ -299,9 +349,14 @@ def run_wallclock_comparison(
 
     ``include_serial`` adds a ``"serial"`` entry measured on the serial
     reference backend (wall clock only).  ``persist_path`` additionally
-    writes the comparison to a ``BENCH_*.json`` file via
-    :func:`persist_comparison`, leaving a perf trajectory behind for the
-    next reviewer.
+    writes the comparison to a ``BENCH_*.json`` file (with git sha and
+    timestamp metadata) via :func:`persist_comparison`, leaving a perf
+    trajectory behind for the next reviewer.
+
+    The whole sweep runs inside one :class:`~repro.session.Session`: every
+    point of an engine's series reuses that engine's warm pool, so the
+    steady-state numbers stop paying thread/process spin-up per point.  The
+    session is closed (engines shut down, arenas released) before returning.
     """
     if executions is not None:
         if engines is not None:
@@ -310,16 +365,19 @@ def run_wallclock_comparison(
     if engines is None:
         engines = available_engines()
     comparison: dict[str, dict[str, float]] = {}
-    if include_serial:
-        comparison["serial"] = _serial_baseline(base_config)
-    for engine in engines:
-        config = replace(base_config, engine=engine)
-        result = run_airfoil_experiment(config, check_correctness=check_correctness)
-        comparison[engine] = {
-            "makespan_seconds": result.runtime_seconds,
-            "wall_seconds": result.wall_seconds,
-            "numerically_correct": float(result.numerically_correct),
-        }
+    with Session(name="bench-wallclock") as session:
+        if include_serial:
+            comparison["serial"] = _serial_baseline(base_config)
+        for engine in engines:
+            config = replace(base_config, engine=engine)
+            result = run_airfoil_experiment(
+                config, check_correctness=check_correctness, session=session
+            )
+            comparison[engine] = {
+                "makespan_seconds": result.runtime_seconds,
+                "wall_seconds": result.wall_seconds,
+                "numerically_correct": float(result.numerically_correct),
+            }
     if persist_path is not None:
         persist_comparison(comparison, base_config, persist_path)
     return comparison

@@ -59,6 +59,7 @@ from repro.op2.dat import OpDat
 from repro.op2.par_loop import ParLoop
 from repro.runtime.chunking import ChunkSizePolicy
 from repro.runtime.future import SharedFuture
+from repro.session import Session
 from repro.sim.machine import Machine
 
 __all__ = ["HPXContext", "hpx_context"]
@@ -84,8 +85,9 @@ class HPXContext(ExecutionContext):
         async_tasking: Optional[bool] = None,
         prefer_vectorized: Optional[bool] = None,
         execution: Optional[str] = None,
+        session: Optional[Session] = None,
     ) -> None:
-        super().__init__()
+        super().__init__(session)
         # ``config`` accepts the new typed RunConfig or -- for optimisation
         # ablations -- a bare OptimizationConfig (the historical meaning).
         optimization: Optional[OptimizationConfig] = None
@@ -140,7 +142,9 @@ class HPXContext(ExecutionContext):
             )
         self.config = optimization
 
-        self.pipeline = build_dataflow_pipeline(run_config, machine, optimization)
+        self.pipeline = build_dataflow_pipeline(
+            run_config, machine, optimization, session=self.session
+        )
         self.loop_futures: dict[str, SharedFuture[OpDat]] = {}
 
     # -- loop execution ----------------------------------------------------------------

@@ -71,6 +71,7 @@ from repro.op2.dat import OpDat
 from repro.op2.par_loop import ParLoop
 from repro.op2.plan import op_plan_get
 from repro.runtime.future import HandleFuture, Promise, SharedFuture, make_ready_future
+from repro.session import Session
 from repro.sim.cost import ChunkCost, KernelCostModel, PrefetchSpec
 from repro.sim.machine import Machine
 from repro.sim.scheduler_sim import (
@@ -450,8 +451,14 @@ class LoopPipeline:
         cost_model: Optional[KernelCostModel] = None,
         task_graph: Optional[TaskGraph] = None,
         prefer_vectorized: Optional[bool] = None,
+        session: Optional[Session] = None,
     ) -> None:
         self.run_config = run_config
+        #: owning session: engines are *borrowed* from its warm pool and only
+        #: drained at finish() (the session shuts them down at close()).
+        #: ``None`` keeps the historical lifecycle -- the pipeline owns a
+        #: private engine and shuts it down itself.
+        self.session = session
         #: capability record of the configured engine; resolving it here
         #: gives unknown engine names the uniform registry error at
         #: construction time, before any work is accepted
@@ -731,6 +738,15 @@ class LoopPipeline:
 
     # -- engine lifecycle --------------------------------------------------------
     def _ensure_engine(self) -> ExecutionEngine:
+        if self.session is not None:
+            engine = self.session.engine(self.run_config)
+            if engine is not self._executor:
+                # Borrowed engine (first acquisition, or the pool replaced a
+                # shut-down one): any ids recorded against the previous
+                # executor belong to a drained run -- drop the stale ids.
+                self.pool_chunk_ids.clear()
+                self._executor = engine
+            return engine
         if self._executor is None or self._executor.is_shutdown:
             if self._executor is not None:
                 # Fresh engine after finish(): earlier chunks all completed,
@@ -745,15 +761,39 @@ class LoopPipeline:
         return self._executor
 
     def abort(self) -> None:
-        """Cancel unstarted chunk tasks and stop the engine (deferred engines)."""
+        """Cancel unstarted chunk tasks and stop the engine (deferred engines).
+
+        A session-borrowed engine is *not* stopped: it is poisoned
+        (``cancel_pending``, so unstarted tasks are skipped) and then drained,
+        which clears the poison -- the warm pool stays reusable for the
+        session's next chain.  Owned engines are shut down, as before.
+        """
         if self._executor is not None and not self._executor.is_shutdown:
-            self._executor.shutdown(wait=False)
+            if self.session is not None:
+                self._executor.cancel_pending()
+                try:
+                    self._executor.wait_all()
+                except Exception:
+                    # The drain re-raises the cancellation (or whatever task
+                    # failure caused the abort); the context is already
+                    # unwinding with the application's exception.
+                    pass
+            else:
+                self._executor.shutdown(wait=False)
         self._stop_clock()
 
     def finish(self) -> None:
-        """Drain the engine and simulate the accumulated task graph."""
+        """Drain the engine and simulate the accumulated task graph.
+
+        A session-borrowed engine is drained (``wait_all``) but left running
+        -- its threads/processes stay warm until ``Session.close()``.  Owned
+        engines are shut down, the historical per-chain lifecycle.
+        """
         if self._executor is not None and not self._executor.is_shutdown:
-            self._executor.shutdown(wait=True)
+            if self.session is not None:
+                self._executor.wait_all()
+            else:
+                self._executor.shutdown(wait=True)
         self._stop_clock()
         if self.task_graph is None or len(self.task_graph) == 0:
             return
@@ -821,6 +861,8 @@ def build_dataflow_pipeline(
     run_config: RunConfig,
     machine: Machine,
     optimization: OptimizationConfig,
+    *,
+    session: Optional[Session] = None,
 ) -> LoopPipeline:
     """Pipeline for the HPX-style dataflow context."""
     capabilities = engine_capabilities(run_config.engine)
@@ -846,6 +888,7 @@ def build_dataflow_pipeline(
         policy=policy,
         machine=machine,
         cost_model=cost_model,
+        session=session,
     )
 
 
@@ -855,18 +898,25 @@ def build_forkjoin_pipeline(
     *,
     block_size: int = 256,
     omp_schedule: Union[OmpSchedule, str] = OmpSchedule.STATIC,
+    session: Optional[Session] = None,
 ) -> LoopPipeline:
     """Pipeline for the OpenMP-style fork/join baseline context."""
     policy = ColorForkJoinSchedulePolicy(block_size=block_size, omp_schedule=omp_schedule)
-    return LoopPipeline(run_config=run_config, policy=policy, machine=machine)
+    return LoopPipeline(
+        run_config=run_config, policy=policy, machine=machine, session=session
+    )
 
 
 def build_serial_pipeline(
-    run_config: RunConfig, *, prefer_vectorized: Optional[bool] = None
+    run_config: RunConfig,
+    *,
+    prefer_vectorized: Optional[bool] = None,
+    session: Optional[Session] = None,
 ) -> LoopPipeline:
     """Pipeline for the serial reference context."""
     return LoopPipeline(
         run_config=run_config,
         policy=EagerSerialSchedulePolicy(),
         prefer_vectorized=prefer_vectorized,
+        session=session,
     )

@@ -29,6 +29,7 @@ from repro.errors import OP2BackendError, ReproDeprecationWarning
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engines.base import EngineCapabilities, ExecutionEngine, RunConfig
+    from repro.session import Session
 
 __all__ = [
     "register_engine",
@@ -112,8 +113,18 @@ def engine_capabilities(name: str) -> "EngineCapabilities":
     return _lookup(name)[1]
 
 
-def make_engine(config: "RunConfig") -> "ExecutionEngine":
-    """Instantiate the engine named by ``config.engine``, handing it the config."""
+def make_engine(
+    config: "RunConfig", *, session: Optional["Session"] = None
+) -> "ExecutionEngine":
+    """Instantiate the engine named by ``config.engine``, handing it the config.
+
+    With ``session=`` the call goes through the session's warm pool instead:
+    an engine already built for an equivalent config is returned live (its
+    worker pool still up), and ownership moves to the session -- it is shut
+    down at :meth:`~repro.session.Session.close`, not by the caller.
+    """
+    if session is not None:
+        return session.engine(config)
     factory, _capabilities = _lookup(config.engine)
     return factory(config)
 

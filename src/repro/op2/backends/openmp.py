@@ -37,6 +37,7 @@ from repro.engines import ExecutionEngine, RunConfig, resolve_run_config
 from repro.errors import OP2BackendError
 from repro.op2.context import BackendReport, ExecutionContext, register_backend
 from repro.op2.par_loop import ParLoop
+from repro.session import Session
 from repro.sim.machine import Machine
 from repro.sim.scheduler_sim import OmpSchedule
 
@@ -66,8 +67,9 @@ class OpenMPContext(ExecutionContext):
         omp_schedule: Union[OmpSchedule, str] = OmpSchedule.STATIC,
         prefer_vectorized: Optional[bool] = None,
         execution: Optional[str] = None,
+        session: Optional[Session] = None,
     ) -> None:
-        super().__init__()
+        super().__init__(session)
         if config is not None and not isinstance(config, RunConfig):
             raise OP2BackendError(
                 f"config must be a RunConfig, got {type(config).__name__}"
@@ -87,7 +89,11 @@ class OpenMPContext(ExecutionContext):
         self.machine = machine
         self.num_threads = run_config.num_threads
         self.pipeline = build_forkjoin_pipeline(
-            run_config, machine, block_size=block_size, omp_schedule=omp_schedule
+            run_config,
+            machine,
+            block_size=block_size,
+            omp_schedule=omp_schedule,
+            session=self.session,
         )
 
     # -- loop execution -----------------------------------------------------------

@@ -25,6 +25,7 @@ from repro.engines import RunConfig
 from repro.errors import OP2BackendError
 from repro.op2.context import BackendReport, ExecutionContext, register_backend
 from repro.op2.par_loop import ParLoop
+from repro.session import Session
 
 __all__ = ["SerialContext", "serial_context"]
 
@@ -39,8 +40,9 @@ class SerialContext(ExecutionContext):
         *,
         prefer_vectorized: Optional[bool] = None,
         config: Optional[RunConfig] = None,
+        session: Optional[Session] = None,
     ) -> None:
-        super().__init__()
+        super().__init__(session)
         if config is not None and not isinstance(config, RunConfig):
             raise OP2BackendError(
                 f"config must be a RunConfig, got {type(config).__name__}"
@@ -48,6 +50,7 @@ class SerialContext(ExecutionContext):
         self.pipeline = build_serial_pipeline(
             config if config is not None else RunConfig(),
             prefer_vectorized=prefer_vectorized,
+            session=self.session,
         )
 
     def execute(self, loop: ParLoop) -> Any:

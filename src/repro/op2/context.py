@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional, TYPE_CHECKING
 
 from repro.errors import OP2BackendError
+from repro.session import Session
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.op2.par_loop import ParLoop
@@ -105,13 +106,25 @@ class BackendReport:
 
 
 class ExecutionContext:
-    """Base class of every backend context."""
+    """Base class of every backend context.
+
+    ``session`` scopes the context's runtime state: its engines come from the
+    session's warm pool (shut down at ``Session.close()``, not at context
+    exit) and entering the context activates the session, so kernel
+    registration and the plan cache resolve against it.  With no session --
+    neither passed nor active at construction -- the context owns a private
+    engine per run and shuts it down at ``finish()``, the historical
+    behaviour.
+    """
 
     #: backend identifier, overridden by subclasses
     backend_name: str = "abstract"
 
-    def __init__(self) -> None:
+    def __init__(self, session: Optional[Session] = None) -> None:
         self.loop_count = 0
+        #: owning session (None = per-run engine ownership, no warm pool)
+        self.session = session if session is not None else Session.current_or_none()
+        self._stack_session: Optional[Session] = None
 
     # -- the backend interface --------------------------------------------------
     def execute(self, loop: "ParLoop") -> Any:
@@ -137,7 +150,13 @@ class ExecutionContext:
 
     # -- context-manager sugar -----------------------------------------------------
     def __enter__(self) -> "ExecutionContext":
-        _push_context(self)
+        # Entering a session-scoped context activates its session, so every
+        # kernel registration / plan lookup / engine acquisition inside the
+        # with block resolves against that session.
+        if self.session is not None:
+            self.session.activate()
+        self._stack_session = self.session if self.session is not None else Session.current()
+        self._stack_session.push_context(self)
         return self
 
     def __exit__(self, *exc_info: object) -> None:
@@ -147,34 +166,30 @@ class ExecutionContext:
             else:
                 self.abort()
         finally:
-            _pop_context(self)
+            stack_session, self._stack_session = self._stack_session, None
+            if stack_session is not None:
+                stack_session.pop_context(self)
+            if self.session is not None:
+                self.session.deactivate()
 
 
 # ---------------------------------------------------------------------------
-# Active-context stack (thread-local so tests can run contexts in parallel)
+# Active-context lookup (stacks live on sessions, thread-local within each
+# session so tests can run contexts in parallel threads)
 # ---------------------------------------------------------------------------
-class _ContextStack(threading.local):
-    def __init__(self) -> None:
-        self.stack: list[ExecutionContext] = []
-
-
-_contexts = _ContextStack()
-
-
-def _push_context(context: ExecutionContext) -> None:
-    _contexts.stack.append(context)
-
-
-def _pop_context(context: ExecutionContext) -> None:
-    if not _contexts.stack or _contexts.stack[-1] is not context:
-        raise OP2BackendError("execution context stack corrupted (unbalanced push/pop)")
-    _contexts.stack.pop()
-
-
 def get_active_context() -> ExecutionContext:
-    """The innermost active context; defaults to a fresh serial context."""
-    if _contexts.stack:
-        return _contexts.stack[-1]
+    """The innermost active context; defaults to a fresh serial context.
+
+    Activated sessions are searched innermost-first, then the default
+    session -- each session's stack is thread-local, so only contexts this
+    thread entered are ever visible.
+    """
+    from repro.session import _active_sessions
+
+    for session in (*reversed(_active_sessions.stack), Session.default()):
+        context = session.active_context()
+        if context is not None:
+            return context
     # Import here to avoid a circular import at module load time.
     from repro.op2.backends.serial import SerialContext
 
@@ -190,33 +205,38 @@ def active_context(context: ExecutionContext) -> Iterator[ExecutionContext]:
 
 
 # ---------------------------------------------------------------------------
-# Backend registry
+# Backend registry (global on purpose: factories are *code*, not run state,
+# exactly like the engine registry -- sessions own the state they create)
 # ---------------------------------------------------------------------------
 _backend_factories: dict[str, Any] = {}
+_backend_lock = threading.Lock()
 
 
 def register_backend(name: str, factory: Any, *, overwrite: bool = False) -> None:
     """Register a context factory under ``name`` (e.g. ``"openmp"``)."""
-    if not overwrite and name in _backend_factories:
-        raise OP2BackendError(f"backend {name!r} already registered")
-    _backend_factories[name] = factory
+    with _backend_lock:
+        if not overwrite and name in _backend_factories:
+            raise OP2BackendError(f"backend {name!r} already registered")
+        _backend_factories[name] = factory
 
 
 def available_backends() -> list[str]:
     """Names of all registered backends, sorted."""
     _ensure_builtin_backends()
-    return sorted(_backend_factories)
+    with _backend_lock:
+        return sorted(_backend_factories)
 
 
 def make_context(name: str, **kwargs: Any) -> ExecutionContext:
     """Instantiate a registered backend context by name."""
     _ensure_builtin_backends()
-    try:
-        factory = _backend_factories[name]
-    except KeyError as exc:
-        raise OP2BackendError(
-            f"unknown backend {name!r}; available: {sorted(_backend_factories)}"
-        ) from exc
+    with _backend_lock:
+        try:
+            factory = _backend_factories[name]
+        except KeyError as exc:
+            raise OP2BackendError(
+                f"unknown backend {name!r}; available: {sorted(_backend_factories)}"
+            ) from exc
     return factory(**kwargs)
 
 

@@ -24,47 +24,46 @@ model's :class:`~repro.sim.cost.KernelProfile`.
 
 from __future__ import annotations
 
-import importlib
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.errors import OP2Error
+from repro.session import Session
 
 __all__ = ["Kernel", "kernel", "register_kernel", "resolve_kernel"]
 
-#: every constructed Kernel, by name (last declaration wins).  The registry is
-#: how the multiprocess backend dispatches chunks: kernel *objects* hold
-#: arbitrary callables that cannot cross a process boundary, so worker
-#: processes receive only the kernel's name (plus its defining module as an
-#: import hint for spawn-style workers) and resolve it locally.
-_kernel_registry: dict[str, "Kernel"] = {}
+
+def register_kernel(kern: "Kernel", *, session: Optional[Session] = None) -> None:
+    """Make ``kern`` resolvable by name (done automatically on construction).
+
+    The registry is how the multiprocess backend dispatches chunks: kernel
+    *objects* hold arbitrary callables that cannot cross a process boundary,
+    so worker processes receive only the kernel's name (plus its defining
+    module as an import hint for spawn-style workers) and resolve it locally.
+
+    Kernels register into the *current* :class:`~repro.session.Session`
+    (``session=`` overrides): kernels declared at module scope land in the
+    default session and stay visible everywhere; kernels declared while a
+    session is active shadow same-named ones per session.
+    """
+    (session if session is not None else Session.current()).register_kernel(kern)
 
 
-def register_kernel(kern: "Kernel") -> None:
-    """Make ``kern`` resolvable by name (done automatically on construction)."""
-    _kernel_registry[kern.name] = kern
-
-
-def resolve_kernel(name: str, module: Optional[str] = None) -> "Kernel":
+def resolve_kernel(
+    name: str, module: Optional[str] = None, *, session: Optional[Session] = None
+) -> "Kernel":
     """Look up a kernel by registered name.
 
-    When the name is unknown and ``module`` is given, the module is imported
-    first: modules register their kernels at import time, which is how
-    spawn-started worker processes (whose registry starts empty) find the
-    kernels of application modules.  Fork-started workers inherit the parent's
-    registry and never need the import.
+    Resolution consults the current session's namespace first, then the
+    default session.  When the name is unknown and ``module`` is given, the
+    module is imported first: modules register their kernels at import time,
+    which is how spawn-started worker processes (whose registry starts empty)
+    find the kernels of application modules.  Fork-started workers inherit
+    the parent's registry and never need the import.
     """
-    kern = _kernel_registry.get(name)
-    if kern is None and module is not None and module != "__main__":
-        importlib.import_module(module)
-        kern = _kernel_registry.get(name)
-    if kern is None:
-        raise OP2Error(
-            f"kernel {name!r} is not registered in this process; multiprocess "
-            f"execution needs kernels declared at module scope (or before the "
-            f"worker pool is created, with the default fork start method)"
-        )
-    return kern
+    return (session if session is not None else Session.current()).resolve_kernel(
+        name, module
+    )
 
 
 @dataclass

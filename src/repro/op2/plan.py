@@ -24,6 +24,7 @@ from repro.errors import OP2PlanError
 from repro.op2.access import AccessMode
 from repro.op2.args import OpArg
 from repro.op2.set import OpSet
+from repro.session import Session
 
 __all__ = ["ExecutionPlan", "op_plan_get", "clear_plan_cache", "plan_cache_size"]
 
@@ -94,22 +95,24 @@ class ExecutionPlan:
             raise OP2PlanError("block colour exceeds declared colour count")
 
 
-# Keyed on the version-*insensitive* identity of the (loop, block size)
-# combination; the value remembers which map versions the plan was computed
-# from.  Renumbering a map (OpMap.set_values) therefore *replaces* the entry
-# on the next op_plan_get instead of leaking one full ExecutionPlan per
-# superseded version.
-_plan_cache: dict[tuple, tuple[tuple, ExecutionPlan]] = {}
+# Plans are cached per session (repro.session.PlanCache: lock-guarded,
+# version-evicting), keyed on the version-*insensitive* identity of the
+# (loop, block size) combination; each entry remembers which map versions the
+# plan was computed from, so renumbering a map (OpMap.set_values) *replaces*
+# the entry on the next op_plan_get instead of leaking one full ExecutionPlan
+# per superseded version.  Code that never mentions sessions uses the default
+# session's cache, which is the historical module-global behaviour.
 
 
 def clear_plan_cache() -> None:
-    """Drop every cached plan (used by tests and between applications)."""
-    _plan_cache.clear()
+    """Drop every plan cached in the current session (used by tests and
+    between applications)."""
+    Session.current().plan_cache.clear()
 
 
 def plan_cache_size() -> int:
-    """Number of cached plans."""
-    return len(_plan_cache)
+    """Number of plans cached in the current session."""
+    return len(Session.current().plan_cache)
 
 
 def _indirect_write_args(args: Sequence[OpArg]) -> list[OpArg]:
@@ -216,10 +219,11 @@ def op_plan_get(
     """
     if block_size <= 0:
         raise OP2PlanError(f"loop {name!r}: block size must be positive, got {block_size}")
+    cache = Session.current().plan_cache
     identity, versions = _cache_key(iterset, block_size, args)
-    entry = _plan_cache.get(identity)
-    if entry is not None and entry[0] == versions:
-        return entry[1]
+    cached = cache.lookup(identity, versions)
+    if cached is not None:
+        return cached
 
     size = iterset.size
     nblocks = (size + block_size - 1) // block_size if size else 0
@@ -240,5 +244,5 @@ def op_plan_get(
         ncolors=ncolors if nblocks else 0,
     )
     plan.validate()
-    _plan_cache[identity] = (versions, plan)  # replaces any superseded version
+    cache.store(identity, versions, plan)  # replaces any superseded version
     return plan

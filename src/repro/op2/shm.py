@@ -20,7 +20,7 @@ worker pool exactly as they would a threaded run.
 from __future__ import annotations
 
 import secrets
-from typing import Any, Optional
+from typing import Any, Optional, TYPE_CHECKING
 
 import numpy as np
 from multiprocessing import shared_memory
@@ -29,6 +29,9 @@ from repro.errors import OP2BackendError
 from repro.op2.dat import OpDat
 from repro.op2.map import OpMap
 from repro.op2.set import OpSet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.session import Session
 
 __all__ = [
     "SharedMemoryArena",
@@ -54,7 +57,9 @@ class SharedMemoryArena:
     down after the pool has been stopped.
     """
 
-    def __init__(self, *, name_prefix: str = "op2") -> None:
+    def __init__(
+        self, *, name_prefix: str = "op2", session: Optional["Session"] = None
+    ) -> None:
         self._prefix = name_prefix
         self._segments: list[shared_memory.SharedMemory] = []
         #: adopted objects by id (strong refs: their views must not outlive
@@ -67,6 +72,10 @@ class SharedMemoryArena:
         #: so loops re-register against the replacement segment
         self._epochs: dict[tuple[str, int], int] = {}
         self._released = False
+        # Register with the owning session so Session.close() can release
+        # any segments a crashed run left behind.
+        if session is not None:
+            session.track_arena(self)
 
     # -- adoption ---------------------------------------------------------------
     @property

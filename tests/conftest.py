@@ -8,15 +8,25 @@ import pytest
 from repro.config import SMALL_TEST_MACHINE
 from repro.op2.plan import clear_plan_cache
 from repro.runtime.scheduler import reset_default_scheduler
+from repro.session import Session
 from repro.sim.machine import Machine
 
 
 @pytest.fixture(autouse=True)
 def _clean_state():
-    """Keep global state (plan cache, default scheduler) isolated per test."""
+    """Keep shared state (plan cache, scheduler, kernel namespace) isolated per test.
+
+    The default session's kernel namespace is snapshotted before and restored
+    after every test: a test registering a same-named kernel (deliberately or
+    not) can no longer displace a module-level kernel for every later test in
+    the process -- the leak the multiprocess engine's by-name dispatch turns
+    into a hard error.
+    """
     clear_plan_cache()
     reset_default_scheduler()
+    kernels = Session.default().kernel_snapshot()
     yield
+    Session.default().restore_kernels(kernels)
     clear_plan_cache()
     reset_default_scheduler()
 

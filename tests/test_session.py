@@ -1,0 +1,370 @@
+"""Tests of :mod:`repro.session`: lifecycle, warm engine reuse, isolation.
+
+The session is the explicit owner of what used to be process-global runtime
+state.  Three properties matter and are pinned here:
+
+* **lifecycle** -- ``Session.engine(config)`` caches live engines, ``close()``
+  shuts every one of them down (and releases tracked shared-memory arenas),
+  and a closed session refuses further work;
+* **warm reuse** -- two consecutive loop chains on one session share the same
+  live engine (no thread/process spin-up between chains) and still match the
+  serial reference exactly;
+* **isolation** -- two concurrent sessions with same-named kernels and
+  same-shaped meshes never observe each other's kernels, plan caches or
+  results.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.apps.airfoil import generate_mesh, run_airfoil
+from repro.apps.jacobi import build_ring_problem, run_jacobi
+from repro.engines import RunConfig
+from repro.errors import OP2Error, RuntimeStateError
+from repro.op2 import (
+    OP_ID,
+    OP_RW,
+    Kernel,
+    op_arg_dat,
+    op_decl_dat,
+    op_decl_set,
+    op_par_loop,
+    op_plan_get,
+    resolve_kernel,
+)
+from repro.op2.backends.hpx import hpx_context
+from repro.op2.backends.serial import serial_context
+from repro.op2.context import active_context
+from repro.op2.plan import clear_plan_cache, plan_cache_size
+from repro.op2.shm import SharedMemoryArena
+from repro.session import Session
+
+
+def _run_jacobi(factory, **kwargs):
+    clear_plan_cache()
+    problem = build_ring_problem(num_nodes=500)
+    context = factory(**kwargs)
+    with active_context(context):
+        result = run_jacobi(problem, iterations=15)
+    return result
+
+
+def _run_airfoil(factory, **kwargs):
+    clear_plan_cache()
+    mesh = generate_mesh(30, 20)
+    context = factory(**kwargs)
+    with active_context(context):
+        result = run_airfoil(mesh, niter=2, rk_steps=2)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle
+# ---------------------------------------------------------------------------
+class TestSessionLifecycle:
+    def test_engine_pool_caches_per_config(self):
+        session = Session()
+        try:
+            first = session.engine(RunConfig(engine="threads", num_threads=2))
+            again = session.engine(RunConfig(engine="threads", num_threads=2))
+            other = session.engine(RunConfig(engine="threads", num_threads=3))
+            assert first is again
+            assert other is not first
+            assert len(session.live_engines()) == 2
+        finally:
+            session.close()
+
+    def test_pool_key_ignores_non_engine_fields(self):
+        """Two configs differing only in chunking policy share one warm pool."""
+        session = Session()
+        try:
+            a = session.engine(RunConfig(engine="threads", num_threads=2, chunking="auto"))
+            b = session.engine(
+                RunConfig(engine="threads", num_threads=2, chunking="persistent_auto")
+            )
+            assert a is b
+        finally:
+            session.close()
+
+    def test_close_shuts_engines_down_and_is_idempotent(self):
+        session = Session()
+        engine = session.engine(RunConfig(engine="threads", num_threads=2))
+        session.close()
+        assert engine.is_shutdown
+        assert session.closed
+        session.close()  # idempotent
+
+    def test_closed_session_refuses_engines(self):
+        session = Session()
+        session.close()
+        with pytest.raises(RuntimeStateError):
+            session.engine(RunConfig(engine="threads", num_threads=2))
+
+    def test_with_block_activates_and_closes(self):
+        with Session() as session:
+            assert Session.current() is session
+            engine = session.engine(RunConfig(engine="threads", num_threads=2))
+        assert Session.current() is not session
+        assert session.closed
+        assert engine.is_shutdown
+
+    def test_use_activates_without_closing(self):
+        session = Session()
+        try:
+            with session.use():
+                assert Session.current() is session
+            assert not session.closed
+        finally:
+            session.close()
+
+    def test_default_session_is_recreated_after_close(self):
+        first = Session.default()
+        first.close()
+        second = Session.default()
+        assert second is not first
+        assert not second.closed
+
+    def test_unbalanced_deactivate_raises(self):
+        session = Session()
+        try:
+            with pytest.raises(RuntimeStateError):
+                session.deactivate()
+        finally:
+            session.close()
+
+    def test_tracked_arena_released_at_close(self):
+        session = Session()
+        arena = SharedMemoryArena(session=session)
+        cells = op_decl_set(16, "cells")
+        dat = op_decl_dat(cells, 1, "double", np.arange(16.0), "d")
+        arena.adopt_dat(dat)
+        assert arena.num_segments == 1
+        session.close()
+        assert arena.num_segments == 0
+        # Data survives release as ordinary parent memory.
+        assert np.array_equal(dat.data.ravel(), np.arange(16.0))
+
+
+# ---------------------------------------------------------------------------
+# Facade delegation (module-level APIs over the current session)
+# ---------------------------------------------------------------------------
+class TestFacades:
+    def test_kernel_registered_in_session_shadows_per_session(self):
+        outer = Kernel(name="session-shadow-kern", elemental=lambda d: None)
+        with Session() as session:
+            inner = Kernel(name="session-shadow-kern", elemental=lambda d: None)
+            assert resolve_kernel("session-shadow-kern") is inner
+            assert "session-shadow-kern" in session.kernel_names()
+        # Outside the session, the default-session binding is untouched.
+        assert resolve_kernel("session-shadow-kern") is outer
+
+    def test_kernel_resolution_falls_back_to_default_session(self):
+        kern = Kernel(name="session-fallback-kern", elemental=lambda d: None)
+        with Session():
+            assert resolve_kernel("session-fallback-kern") is kern
+
+    def test_unknown_kernel_raises_in_any_session(self):
+        with Session():
+            with pytest.raises(OP2Error):
+                resolve_kernel("kernel-that-was-never-registered")
+
+    def test_plan_cache_is_per_session(self):
+        cells = op_decl_set(64, "cells")
+        with Session() as session:
+            op_plan_get("direct", cells, 16, [])
+            assert plan_cache_size() == 1
+            assert len(session.plan_cache) == 1
+        # The session's plans never touched the default session's cache.
+        assert plan_cache_size() == 0
+
+    def test_clear_plan_cache_clears_current_session_only(self):
+        cells = op_decl_set(64, "cells")
+        op_plan_get("direct", cells, 16, [])  # default session
+        with Session():
+            other = op_decl_set(64, "other")
+            op_plan_get("direct", other, 16, [])
+            clear_plan_cache()
+            assert plan_cache_size() == 0
+        assert plan_cache_size() == 1
+
+    def test_concurrent_registration_is_lock_safe(self):
+        session = Session()
+        try:
+            errors: list[BaseException] = []
+
+            def register(index: int) -> None:
+                try:
+                    for j in range(50):
+                        session.register_kernel(
+                            Kernel(
+                                name=f"race-kern-{index}-{j}",
+                                elemental=lambda d: None,
+                            )
+                        )
+                except BaseException as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=register, args=(i,)) for i in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            assert len(session.kernel_names()) == 8 * 50
+        finally:
+            session.close()
+
+
+# ---------------------------------------------------------------------------
+# Warm-pool reuse parity (satellite: Jacobi then Airfoil on one live engine)
+# ---------------------------------------------------------------------------
+class TestWarmPoolReuse:
+    def test_threads_engine_survives_two_chains_bit_identical(self):
+        serial_jacobi = _run_jacobi(serial_context)
+        serial_airfoil = _run_airfoil(serial_context)
+        with Session() as session:
+            jacobi = _run_jacobi(hpx_context, num_threads=4, engine="threads")
+            engine = session.live_engines()[0]
+            assert not engine.is_shutdown
+            threads_before = threading.active_count()
+            airfoil = _run_airfoil(hpx_context, num_threads=4, engine="threads")
+            # Same live engine served both chains; no thread growth between.
+            assert session.live_engines() == [engine]
+            assert threading.active_count() == threads_before
+        assert np.array_equal(jacobi.u, serial_jacobi.u)
+        assert np.allclose(airfoil.q, serial_airfoil.q, rtol=1e-12, atol=1e-14)
+        assert engine.is_shutdown  # session close tore the warm pool down
+
+    def test_processes_engine_survives_two_chains_with_same_workers(self):
+        serial_jacobi = _run_jacobi(serial_context)
+        serial_airfoil = _run_airfoil(serial_context)
+        with Session() as session:
+            jacobi = _run_jacobi(hpx_context, num_threads=2, engine="processes")
+            engine = session.live_engines()[0]
+            pids_before = sorted(h.process.pid for h in engine.pool._workers)
+            airfoil = _run_airfoil(hpx_context, num_threads=2, engine="processes")
+            pids_after = sorted(h.process.pid for h in engine.pool._workers)
+            assert session.live_engines() == [engine]
+            assert pids_after == pids_before  # the same worker processes
+            assert all(h.process.is_alive() for h in engine.pool._workers)
+        assert np.array_equal(jacobi.u, serial_jacobi.u)
+        assert np.allclose(airfoil.q, serial_airfoil.q, rtol=1e-12, atol=1e-14)
+        assert engine.is_shutdown
+
+    def test_abort_keeps_session_engine_reusable(self):
+        """An application error poisons and drains the warm engine -- it must
+        stay up and serve the session's next chain correctly."""
+        serial = _run_jacobi(serial_context)
+        with Session() as session:
+            with pytest.raises(RuntimeError, match="app failed"):
+                clear_plan_cache()
+                problem = build_ring_problem(num_nodes=64)
+                with active_context(hpx_context(num_threads=2, engine="threads")):
+                    run_jacobi(problem, iterations=1)
+                    raise RuntimeError("app failed")
+            engine = session.live_engines()[0]
+            assert not engine.is_shutdown
+            result = _run_jacobi(hpx_context, num_threads=2, engine="threads")
+            assert session.live_engines() == [engine]
+        assert np.array_equal(result.u, serial.u)
+
+    def test_sessionless_context_keeps_owned_engine_lifecycle(self):
+        """Outside any session, contexts still own and shut their engine down
+        per chain -- the historical behaviour tests and callers rely on."""
+        clear_plan_cache()
+        problem = build_ring_problem(num_nodes=64)
+        context = hpx_context(num_threads=2, engine="threads")
+        with active_context(context):
+            run_jacobi(problem, iterations=1)
+        assert context.executor is not None
+        assert context.executor.is_shutdown
+
+
+# ---------------------------------------------------------------------------
+# Two concurrent sessions: same-named kernels, same-shaped meshes
+# ---------------------------------------------------------------------------
+class TestSessionIsolation:
+    def test_two_concurrent_sessions_are_fully_isolated(self):
+        """Each session registers its *own* kernel under one shared name and
+        runs it over an identically-shaped set; results must reflect each
+        session's kernel, not the other's."""
+        size = 4096
+        barrier = threading.Barrier(2)
+        results: dict[int, np.ndarray] = {}
+        errors: list[BaseException] = []
+
+        def tenant(factor: float, slot: int) -> None:
+            try:
+                session = Session(name=f"tenant-{slot}")
+                try:
+                    with session.use():
+                        def scale(d, _factor=factor):
+                            d *= _factor
+
+                        def scale_vec(_idx, d, _factor=factor):
+                            d *= _factor
+
+                        kern = Kernel(
+                            name="tenant-scale",  # the SAME name in both sessions
+                            elemental=scale,
+                            vectorized=scale_vec,
+                        )
+                        assert resolve_kernel("tenant-scale") is kern
+                        barrier.wait(timeout=30)  # both sessions live at once
+                        cells = op_decl_set(size, "cells")
+                        dat = op_decl_dat(
+                            cells, 1, "double", np.ones(size), "d"
+                        )
+                        context = hpx_context(num_threads=2, engine="threads")
+                        with active_context(context):
+                            op_par_loop(
+                                kern,
+                                "scale",
+                                cells,
+                                op_arg_dat(dat, -1, OP_ID, 1, "double", OP_RW),
+                            )
+                        results[slot] = np.array(dat.data).ravel()
+                finally:
+                    session.close()
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+                try:
+                    barrier.abort()
+                except BaseException:
+                    pass
+
+        threads = [
+            threading.Thread(target=tenant, args=(2.0, 0)),
+            threading.Thread(target=tenant, args=(3.0, 1)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors, errors
+        # Each tenant saw exactly its own kernel's effect.
+        assert np.array_equal(results[0], np.full(size, 2.0))
+        assert np.array_equal(results[1], np.full(size, 3.0))
+        # Neither tenant leaked its kernel into the default session.
+        with pytest.raises(OP2Error):
+            resolve_kernel("tenant-scale")
+
+    def test_same_named_kernels_do_not_cross_between_nested_sessions(self):
+        with Session() as outer:
+            outer_kern = Kernel(name="nested-kern", elemental=lambda d: None)
+            inner = Session()
+            try:
+                with inner.use():
+                    inner_kern = Kernel(name="nested-kern", elemental=lambda d: None)
+                    assert resolve_kernel("nested-kern") is inner_kern
+                assert resolve_kernel("nested-kern") is outer_kern
+                assert inner.kernel_names() == ["nested-kern"]
+                assert outer.kernel_names() == ["nested-kern"]
+            finally:
+                inner.close()
