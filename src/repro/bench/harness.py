@@ -370,13 +370,22 @@ def run_wallclock_comparison(
             comparison["serial"] = _serial_baseline(base_config)
         for engine in engines:
             config = replace(base_config, engine=engine)
+            before = session.artifact_cache_stats()
             result = run_airfoil_experiment(
                 config, check_correctness=check_correctness, session=session
             )
+            after = session.artifact_cache_stats()
             comparison[engine] = {
                 "makespan_seconds": result.runtime_seconds,
                 "wall_seconds": result.wall_seconds,
                 "numerically_correct": float(result.numerically_correct),
+                # Compile amortisation: how often this engine's loops hit the
+                # session's kernel-artifact cache (zero for interpreted
+                # engines, warming up across points for compiled ones).
+                "details": {
+                    "artifact_cache_hits": after["hits"] - before["hits"],
+                    "artifact_cache_misses": after["misses"] - before["misses"],
+                },
             }
     if persist_path is not None:
         persist_comparison(comparison, base_config, persist_path)

@@ -38,6 +38,7 @@ none of which need to touch a context class.
 from __future__ import annotations
 
 import time
+import warnings
 from typing import Any, Callable, Iterable, Optional, Sequence, Union
 
 from repro.core.interleaving import DependencyTracker
@@ -64,7 +65,7 @@ from repro.engines import (
     engine_capabilities,
     make_engine,
 )
-from repro.errors import OP2BackendError
+from repro.errors import OP2BackendError, TranslatorError
 from repro.op2.access import AccessMode
 from repro.op2.context import BackendReport
 from repro.op2.dat import OpDat
@@ -92,6 +93,11 @@ __all__ = [
     "build_forkjoin_pipeline",
     "build_serial_pipeline",
 ]
+
+
+#: kernel fingerprints whose lowering failure has already been warned about
+#: (process-wide: the fallback is per kernel *content*, not per pipeline)
+_lowering_warned: set[str] = set()
 
 
 # ---------------------------------------------------------------------------
@@ -673,6 +679,9 @@ class LoopPipeline:
             return make_ready_future(loop.output_dat()).share()  # type: ignore[arg-type]
 
         assert engine is not None
+        slab_artifact = None
+        if capabilities.compiled_kernels and not capabilities.needs_kernel_registry:
+            slab_artifact = self._resolve_slab(loop)
         last_merge_id: Optional[int] = None
         for spec in schedule.tasks:
             if spec.chain_start:
@@ -692,7 +701,7 @@ class LoopPipeline:
                 )
             else:
                 compute_id, merge_id = engine.submit_chunk(
-                    self._make_prepare(loop, spec.start, spec.stop),
+                    self._make_prepare(loop, spec.start, spec.stop, slab_artifact),
                     deps=pool_deps,
                     after=last_merge_id,
                 )
@@ -708,14 +717,61 @@ class LoopPipeline:
         return self._deferred_future(loop.output_dat(), last_merge_id)
 
     def _make_prepare(
-        self, loop: ParLoop, start: int, stop: int
+        self, loop: ParLoop, start: int, stop: int, slab_artifact: Any = None
     ) -> Callable[[], Callable[[], None]]:
         prefer_vectorized = self.prefer_vectorized
 
         def prepare() -> Callable[[], None]:
+            # A slab privatises WRITE/RW scatters exactly like the vectorised
+            # path, so blocks with duplicate scatter targets take the same
+            # per-chunk elemental fallback (see ParLoop._scatter_conflicts).
+            if (
+                slab_artifact is not None
+                and start < stop
+                and not loop._scatter_conflicts(start, stop)
+            ):
+                from repro.translator.slab import make_slab_prepare
+
+                return make_slab_prepare(loop, slab_artifact, start, stop)
             return loop.prepare_block(start, stop, prefer_vectorized=prefer_vectorized)
 
         return prepare
+
+    def _resolve_slab(self, loop: ParLoop) -> Any:
+        """The loop's compiled slab artifact, or ``None`` for the interpreted path.
+
+        Loops with a non-reduction global write stay interpreted silently --
+        privatising them is semantically impossible (the kernel must observe
+        prior iterations), mirroring :meth:`ParLoop.prepare_block`.  Kernels
+        the translator cannot lower fall back with one warning per kernel
+        content; artifacts are cached on the owning session keyed on
+        ``(fingerprint, slab signature)``.
+        """
+        from repro.translator.slab import slab_signature
+
+        if any(
+            arg.is_global and arg.access in (AccessMode.WRITE, AccessMode.RW)
+            for arg in loop.args
+        ):
+            return None
+        kernel = loop.kernel
+        session = self.session if self.session is not None else Session.current()
+        try:
+            signature = slab_signature(loop)
+            return session.kernel_artifact(
+                (kernel.fingerprint, signature), lambda: kernel.lowered(signature)
+            )
+        except TranslatorError as exc:
+            fingerprint = kernel.fingerprint
+            if fingerprint not in _lowering_warned:
+                _lowering_warned.add(fingerprint)
+                warnings.warn(
+                    f"kernel {kernel.name!r} could not be lowered to a compiled "
+                    f"slab ({exc}); falling back to the interpreted path",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            return None
 
     def _deferred_future(
         self, output: Optional[OpDat], last_merge_id: Optional[int]

@@ -71,6 +71,10 @@ class EngineCapabilities:
     * ``separate_merge_channel``: merges travel on a channel of their own,
       so the chunk-ordered merge chain never queues behind a long compute
       (reported for observability; no context branches on it today).
+    * ``compiled_kernels``: the engine wants loops lowered through the
+      kernel pipeline (capture → parse → IR → emit) and dispatched as
+      compiled slab functions; loops (or kernels) the pipeline cannot lower
+      fall back to the interpreted prepare path per loop.
     """
 
     deferred: bool = True
@@ -79,6 +83,7 @@ class EngineCapabilities:
     supports_global_write: bool = True
     strict_commit_order: bool = True
     separate_merge_channel: bool = False
+    compiled_kernels: bool = False
 
     def describe(self) -> dict[str, bool]:
         """The capability record as a plain dict (used in backend reports)."""

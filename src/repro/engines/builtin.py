@@ -1,4 +1,4 @@
-"""The three built-in execution engines, self-registered on import.
+"""The built-in execution engines, self-registered on import.
 
 * ``simulate`` -- an :class:`InlineEngine` with ``deferred=False``: loop
   numerics execute eagerly in the parent and only the chunk DAG is modelled.
@@ -10,6 +10,12 @@
   (:class:`~repro.runtime.process_pool.ProcessChunkEngine`): no shared
   address space, kernel dispatch by registered name, no in-engine global
   writes, merges on a dedicated channel.
+* ``compiled`` -- the same thread pool advertising ``compiled_kernels``:
+  the loop pipeline lowers each kernel through the translator (capture →
+  parse → IR → emit) and submits compiled slab functions instead of
+  interpreted prepare closures, falling back per kernel when lowering
+  fails.  With numba importable the slabs run ``njit(nogil=True)`` and
+  genuinely overlap; otherwise they run as exec'd NumPy modules.
 
 :class:`InlineEngine` doubles as the reference implementation of the engine
 protocol for third parties: subclass (or copy) it, adjust the advertised
@@ -19,6 +25,7 @@ protocol for third parties: subclass (or copy) it, adjust the advertised
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 from typing import Callable, Iterable, Optional
 
@@ -33,6 +40,7 @@ __all__ = [
     "SIMULATE_CAPABILITIES",
     "THREADS_CAPABILITIES",
     "PROCESSES_CAPABILITIES",
+    "COMPILED_CAPABILITIES",
 ]
 
 #: eager parent execution; only the DAG is modelled, so no strict edges
@@ -46,6 +54,9 @@ THREADS_CAPABILITIES = PoolExecutor.capabilities
 
 #: worker processes on shared-memory segments
 PROCESSES_CAPABILITIES = ProcessChunkEngine.capabilities
+
+#: the thread pool, asking the pipeline for lowered slab kernels
+COMPILED_CAPABILITIES = dataclasses.replace(THREADS_CAPABILITIES, compiled_kernels=True)
 
 
 class InlineEngine:
@@ -134,6 +145,13 @@ def _make_processes(config: RunConfig) -> ExecutionEngine:
     )
 
 
+def _make_compiled(config: RunConfig) -> ExecutionEngine:
+    engine = PoolExecutor(config.num_threads, name="hpx-slab-pool", trace=True)
+    engine.capabilities = COMPILED_CAPABILITIES
+    return engine
+
+
 register_engine("simulate", _make_simulate, capabilities=SIMULATE_CAPABILITIES, overwrite=True)
 register_engine("threads", _make_threads, capabilities=THREADS_CAPABILITIES, overwrite=True)
 register_engine("processes", _make_processes, capabilities=PROCESSES_CAPABILITIES, overwrite=True)
+register_engine("compiled", _make_compiled, capabilities=COMPILED_CAPABILITIES, overwrite=True)

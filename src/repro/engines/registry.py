@@ -46,7 +46,7 @@ _engine_factories: dict[str, tuple[Callable[..., "ExecutionEngine"], "EngineCapa
 _registry_lock = threading.Lock()
 
 #: the engine names every installation ships with
-BUILTIN_ENGINES = ("simulate", "threads", "processes")
+BUILTIN_ENGINES = ("simulate", "threads", "processes", "compiled")
 
 
 def register_engine(

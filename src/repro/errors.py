@@ -30,6 +30,7 @@ __all__ = [
     "TranslatorError",
     "TranslatorParseError",
     "TranslatorCodegenError",
+    "TranslatorLoweringError",
     "SimulationError",
     "MachineConfigError",
     "CacheConfigError",
@@ -134,6 +135,10 @@ class TranslatorParseError(TranslatorError):
 
 class TranslatorCodegenError(TranslatorError):
     """Code generation from loop-site IR failed."""
+
+
+class TranslatorLoweringError(TranslatorError):
+    """A live kernel could not be lowered to a compiled slab artifact."""
 
 
 # ---------------------------------------------------------------------------

@@ -24,11 +24,17 @@ model's :class:`~repro.sim.cost.KernelProfile`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Optional
+import hashlib
+import inspect
+import textwrap
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
-from repro.errors import OP2Error
+from repro.errors import OP2Error, TranslatorError
 from repro.session import Session
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.translator.slab import KernelArtifact, SlabArg
 
 __all__ = ["Kernel", "kernel", "register_kernel", "resolve_kernel"]
 
@@ -79,6 +85,9 @@ class Kernel:
     reuse_fraction: float = 0.0
     #: relative per-chunk load imbalance (see KernelProfile.imbalance)
     imbalance: float = 0.05
+    #: explicit elemental source override, for kernels built via ``exec`` whose
+    #: source :func:`inspect.getsource` cannot recover
+    source: Optional[str] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not callable(self.elemental):
@@ -91,6 +100,9 @@ class Kernel:
             raise OP2Error(f"kernel {self.name!r}: reuse_fraction must be in [0, 1]")
         if not 0.0 <= self.imbalance < 1.0:
             raise OP2Error(f"kernel {self.name!r}: imbalance must be in [0, 1)")
+        self._fingerprint: Optional[str] = None
+        self._ir: Any = None
+        self._ir_error: Optional[TranslatorError] = None
         register_kernel(self)
 
     @property
@@ -102,6 +114,93 @@ class Kernel:
     def has_vectorized(self) -> bool:
         """True if a NumPy block form is available."""
         return self.vectorized is not None
+
+    # -- lowering ----------------------------------------------------------------
+    @property
+    def captured_source(self) -> Optional[str]:
+        """The elemental form's source text, or ``None`` if unrecoverable."""
+        if self.source is not None:
+            return textwrap.dedent(self.source)
+        try:
+            return textwrap.dedent(inspect.getsource(self.elemental))
+        except (OSError, TypeError):
+            return None
+
+    @property
+    def fingerprint(self) -> str:
+        """Content hash of the elemental source.
+
+        Redefining a same-named kernel with different source yields a
+        different fingerprint, so plan/artifact caches and the multiprocess
+        worker identity check never reuse stale state.  When the source is
+        unrecoverable the hash falls back to the qualified name, which still
+        distinguishes kernels but cannot detect in-place redefinition.
+        """
+        if self._fingerprint is None:
+            text = self.captured_source
+            if text is None:
+                text = (
+                    "qualname:"
+                    f"{self.defining_module}:"
+                    f"{getattr(self.elemental, '__qualname__', self.name)}"
+                )
+            self._fingerprint = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        return self._fingerprint
+
+    def kernel_ir(self) -> Any:
+        """Parse the elemental form into a :class:`KernelIR` (memoized).
+
+        A failed parse is memoized too: the same :class:`TranslatorError`
+        re-raises on every call, so callers pay the parse attempt once and
+        the pipeline warns once.
+        """
+        if self._ir_error is not None:
+            raise self._ir_error
+        if self._ir is None:
+            from repro.translator.parser import parse_kernel
+
+            try:
+                if self.source is not None:
+                    self._ir = parse_kernel(
+                        self.source,
+                        name=self.name,
+                        globalns=getattr(self.elemental, "__globals__", None),
+                    )
+                else:
+                    self._ir = parse_kernel(self.elemental, name=self.name)
+            except TranslatorError as exc:
+                self._ir_error = exc
+                raise
+        return self._ir
+
+    def lowered(
+        self, signature: Optional[tuple["SlabArg", ...]] = None
+    ) -> "KernelArtifact":
+        """Lazily lower the kernel to a :class:`KernelArtifact`.
+
+        With a slab ``signature`` the artifact carries an executable slab for
+        that argument layout; without one it carries only the parsed IR and
+        access analysis (``artifact.slab is None``).  Raises
+        :class:`~repro.errors.TranslatorError` when the kernel cannot be
+        lowered; sessions cache successful artifacts keyed on
+        ``(fingerprint, signature)``.
+        """
+        from repro.translator.analysis import analyse_kernel
+        from repro.translator.slab import KernelArtifact, build_slab
+
+        ir = self.kernel_ir()
+        if signature is None:
+            return KernelArtifact(
+                kernel_name=self.name,
+                fingerprint=self.fingerprint,
+                signature=(),
+                ir=ir,
+                analysis=analyse_kernel(ir),
+                module_source="",
+                slab=None,
+                backend="none",
+            )
+        return build_slab(ir, tuple(signature), fingerprint=self.fingerprint)
 
     def __call__(self, *args: Any, **kwargs: Any) -> Any:
         """Calling the kernel object invokes the elemental form."""

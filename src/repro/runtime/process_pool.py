@@ -154,15 +154,18 @@ class _WorkerState:
         from repro.op2.set import OpSet
 
         kernel = resolve_kernel(spec["kernel"], spec.get("kernel_module"))
-        expected = spec.get("kernel_qualname")
-        actual = getattr(kernel.elemental, "__qualname__", None)
+        expected = spec.get("kernel_fingerprint")
+        actual = kernel.fingerprint
         if expected is not None and actual != expected:
-            # A same-named kernel defined after this worker's registry was
-            # populated (e.g. post-fork) shadows the one the parent meant.
+            # A same-named kernel with *different source* shadows the one the
+            # parent meant (e.g. redefined after this worker's registry was
+            # populated post-fork).  The content fingerprint catches this even
+            # when the qualnames coincide.
             raise OP2BackendError(
-                f"kernel {spec['kernel']!r} resolved to {actual!r} but the "
-                f"parent dispatched {expected!r}; kernel names must be unique "
-                f"for multiprocess dispatch"
+                f"kernel {spec['kernel']!r} resolved to source fingerprint "
+                f"{actual[:12]} but the parent dispatched {expected[:12]}; "
+                f"kernel names must identify one kernel source for "
+                f"multiprocess dispatch"
             )
         iterset_spec = spec["iterset"]
         iterset = self.sets.get(iterset_spec["set_id"])
@@ -752,7 +755,7 @@ class ProcessChunkEngine:
             "name": loop.name,
             "kernel": loop.kernel.name,
             "kernel_module": loop.kernel.defining_module,
-            "kernel_qualname": getattr(loop.kernel.elemental, "__qualname__", None),
+            "kernel_fingerprint": loop.kernel.fingerprint,
             "iterset": {
                 "set_id": loop.iterset.set_id,
                 "size": loop.iterset.size,

@@ -65,7 +65,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.op2.plan import ExecutionPlan
     from repro.op2.shm import SharedMemoryArena
 
-__all__ = ["PlanCache", "Session"]
+__all__ = ["PlanCache", "KernelArtifactCache", "Session"]
 
 
 class PlanCache:
@@ -107,6 +107,52 @@ class PlanCache:
             return len(self._entries)
 
 
+class KernelArtifactCache:
+    """A lock-guarded cache of compiled kernel artifacts.
+
+    Keys are ``(kernel fingerprint, slab signature)`` -- content-addressed,
+    so redefining a same-named kernel with different source simply misses
+    (the stale entry ages out with the session) while re-running the same
+    loop chain hits.  Hit/miss counters feed the bench harness, which
+    reports compile amortisation across cold and warm runs.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: dict[tuple, Any] = {}
+        self._hits = 0
+        self._misses = 0
+
+    def lookup(self, key: tuple) -> Optional[Any]:
+        """The cached artifact for ``key``, counting a hit or miss."""
+        with self._lock:
+            artifact = self._entries.get(key)
+            if artifact is not None:
+                self._hits += 1
+            else:
+                self._misses += 1
+            return artifact
+
+    def store(self, key: tuple, artifact: Any) -> Any:
+        """Cache ``artifact``; first store wins so concurrent builds converge."""
+        with self._lock:
+            return self._entries.setdefault(key, artifact)
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/size counters (``hits``/``misses``/``entries``)."""
+        with self._lock:
+            return {"hits": self._hits, "misses": self._misses, "entries": len(self._entries)}
+
+    def clear(self) -> None:
+        """Drop every cached artifact (counters survive for diagnostics)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
 # ---------------------------------------------------------------------------
 # Current-session stack (thread-local, like the active-context stack)
 # ---------------------------------------------------------------------------
@@ -139,6 +185,7 @@ class Session:
         self._lock = threading.RLock()
         self._kernels: dict[str, "Kernel"] = {}
         self.plan_cache = PlanCache()
+        self.artifact_cache = KernelArtifactCache()
         self._engines: dict[tuple, "ExecutionEngine"] = {}
         self._arenas: list["SharedMemoryArena"] = []
         self._contexts = _ContextStack()
@@ -291,6 +338,30 @@ class Session:
             return self._contexts.stack[-1]
         return None
 
+    # -- kernel artifacts ----------------------------------------------------------
+    def kernel_artifact(self, key: tuple, builder: Any) -> Any:
+        """The compiled artifact for ``key``, building it on first use.
+
+        ``builder`` runs *outside* the cache lock -- compiling a slab can take
+        long enough (numba JIT) that holding the lock would serialise every
+        concurrent loop chain -- and the first finished build wins, so two
+        racing builders converge on one artifact.  Lowering errors propagate
+        to the caller, which decides the fallback policy.
+        """
+        self._check_open()
+        artifact = self.artifact_cache.lookup(key)
+        if artifact is not None:
+            return artifact
+        return self.artifact_cache.store(key, builder())
+
+    def artifact_cache_stats(self) -> dict[str, int]:
+        """Hit/miss/size counters of the kernel-artifact cache."""
+        return self.artifact_cache.stats()
+
+    def clear_artifact_cache(self) -> None:
+        """Drop every compiled kernel artifact (invalidated like plans)."""
+        self.artifact_cache.clear()
+
     # -- shared-memory arenas ------------------------------------------------------
     def track_arena(self, arena: "SharedMemoryArena") -> None:
         """Register ``arena`` for release at :meth:`close`."""
@@ -364,6 +435,7 @@ class Session:
             self._engines.clear()
             arenas = list(self._arenas)
             self._arenas.clear()
+            self.artifact_cache.clear()
         first_failure: Optional[BaseException] = None
         for engine in engines:
             try:

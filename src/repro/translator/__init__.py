@@ -19,22 +19,50 @@ This package reproduces that pipeline in miniature:
   -- generation of runnable Python wrapper modules targeting the OpenMP-style
   and HPX-style backends of this library;
 * :mod:`repro.translator.driver` -- the ``op2_translate`` entry point.
+
+The same parser/IR/analysis stack also operates one level down, on single
+*kernels* -- :func:`parse_kernel` → :class:`KernelIR` → :func:`analyse_kernel`
+→ :mod:`repro.translator.slab` emission -- which is the lowering pipeline the
+live ``compiled`` engine shares with the offline translator.
 """
 
-from repro.translator.analysis import LoopDependenceGraph, analyse_dependences
+from repro.translator.analysis import (
+    KernelAccessAnalysis,
+    LoopDependenceGraph,
+    analyse_dependences,
+    analyse_kernel,
+)
 from repro.translator.codegen_hpx import generate_hpx_module
 from repro.translator.codegen_openmp import generate_openmp_module
 from repro.translator.driver import TranslationResult, op2_translate
-from repro.translator.ir import ArgDescriptor, LoopSite, ProgramIR
-from repro.translator.parser import parse_source
+from repro.translator.ir import ArgDescriptor, KernelIR, LoopSite, ProgramIR
+from repro.translator.parser import parse_kernel, parse_source
+from repro.translator.slab import (
+    KernelArtifact,
+    SlabArg,
+    build_slab,
+    emit_slab_module,
+    make_slab_prepare,
+    slab_signature,
+)
 
 __all__ = [
     "ArgDescriptor",
     "LoopSite",
     "ProgramIR",
+    "KernelIR",
     "parse_source",
+    "parse_kernel",
     "LoopDependenceGraph",
     "analyse_dependences",
+    "KernelAccessAnalysis",
+    "analyse_kernel",
+    "SlabArg",
+    "KernelArtifact",
+    "slab_signature",
+    "emit_slab_module",
+    "build_slab",
+    "make_slab_prepare",
     "generate_openmp_module",
     "generate_hpx_module",
     "TranslationResult",

@@ -1,13 +1,30 @@
-"""Intermediate representation of ``op_par_loop`` call sites."""
+"""Intermediate representation of ``op_par_loop`` call sites and kernels.
+
+Two granularities share this module:
+
+* the *program* level -- :class:`ProgramIR` / :class:`LoopSite` /
+  :class:`ArgDescriptor`, produced by scanning an application source for
+  ``op_par_loop`` call sites (the historical translator path); and
+* the *kernel* level -- :class:`KernelIR`, produced by parsing one user
+  kernel's Python source (:func:`repro.translator.parser.parse_kernel`).
+  This is the representation the live ``compiled`` engine lowers through:
+  capture → parse → KernelIR → analyze → emit.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Any, Iterator, Mapping
 
 from repro.errors import TranslatorError
 
-__all__ = ["ArgDescriptor", "LoopSite", "ProgramIR", "ACCESS_NAMES"]
+__all__ = [
+    "ArgDescriptor",
+    "LoopSite",
+    "ProgramIR",
+    "KernelIR",
+    "ACCESS_NAMES",
+]
 
 #: access spellings accepted in application sources
 ACCESS_NAMES = {"OP_READ", "OP_WRITE", "OP_RW", "OP_INC", "OP_MIN", "OP_MAX"}
@@ -114,3 +131,67 @@ class ProgramIR:
         for site in self.loops:
             seen.setdefault(site.kernel, None)
         return list(seen)
+
+
+# ---------------------------------------------------------------------------
+# Kernel-level IR
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class KernelIR:
+    """The parsed, canonicalised form of one user kernel.
+
+    ``source`` is the *canonical* source: annotations and decorators removed,
+    module-level references folded -- free names that resolved to scalars or
+    arrays have been baked into ``constants`` (attribute chains like
+    ``_g.gam`` are rewritten to generated constant names), module references
+    (``math``, ``np``) are recorded in ``modules``, and same-origin helper
+    functions are recursively parsed into ``helpers``.  Emitting ``modules``
+    imports + ``constants`` assignments + every helper's source + ``source``
+    yields a self-contained module that reproduces the kernel's numerics.
+    """
+
+    #: the kernel name this IR was parsed for (diagnostics)
+    name: str
+    #: the function name to call in emitted code (the original ``def`` name)
+    func_name: str
+    #: positional parameter names, in order
+    params: tuple[str, ...]
+    #: canonical function source (``ast.unparse`` of the transformed tree)
+    source: str
+    #: alias -> module name of module-level references (``{"np": "numpy"}``)
+    modules: Mapping[str, str]
+    #: generated/free constant name -> baked Python value (scalars, ndarrays)
+    constants: Mapping[str, Any]
+    #: recursively parsed same-origin helper functions, in first-call order
+    helpers: tuple["KernelIR", ...]
+    #: structural features observed while parsing ("for", "if", "early-return", ...)
+    features: frozenset[str] = frozenset()
+
+    def all_modules(self) -> dict[str, str]:
+        """Module imports of this kernel and every helper, merged."""
+        merged: dict[str, str] = {}
+        for helper in self.helpers:
+            merged.update(helper.all_modules())
+        merged.update(self.modules)
+        return merged
+
+    def all_constants(self) -> dict[str, Any]:
+        """Baked constants of this kernel and every helper, merged."""
+        merged: dict[str, Any] = {}
+        for helper in self.helpers:
+            merged.update(helper.all_constants())
+        merged.update(self.constants)
+        return merged
+
+    def all_sources(self) -> list[str]:
+        """Helper sources (dependency order) followed by the kernel source."""
+        sources: list[str] = []
+        seen: set[str] = set()
+        for helper in self.helpers:
+            for text in helper.all_sources():
+                if text not in seen:
+                    seen.add(text)
+                    sources.append(text)
+        if self.source not in seen:
+            sources.append(self.source)
+        return sources

@@ -1,23 +1,47 @@
-"""Parsing of ``op_par_loop`` call sites from application sources.
+"""Parsing of ``op_par_loop`` call sites and of single user kernels.
 
-The OP2 translator scans C/C++ sources for ``op_decl_set``, ``op_decl_map``,
-``op_decl_dat`` and ``op_par_loop`` calls; it does not need a full C parser
-because the OP2 API restricts these calls to a simple, flat argument syntax.
-This module follows the same approach: a tolerant, parenthesis-balanced
-scanner that works on both C-style sources (``op_par_loop(save_soln, "save_
-soln", cells, op_arg_dat(p_q, -1, OP_ID, 4, "double", OP_READ), ...)``) and
-on Python sources using this library's API.
+Two parsers live here:
+
+* :func:`parse_source` -- the program-level scanner of the historical
+  translator.  The OP2 translator scans C/C++ sources for ``op_decl_set``,
+  ``op_decl_map``, ``op_decl_dat`` and ``op_par_loop`` calls; it does not
+  need a full C parser because the OP2 API restricts these calls to a
+  simple, flat argument syntax.  This module follows the same approach: a
+  tolerant, parenthesis-balanced scanner that works on both C-style sources
+  (``op_par_loop(save_soln, "save_soln", cells, op_arg_dat(p_q, -1, OP_ID,
+  4, "double", OP_READ), ...)``) and on Python sources using this library's
+  API.
+* :func:`parse_kernel` -- the kernel-level parser of the live lowering
+  pipeline.  It parses one *Python* elemental kernel (a function or its
+  source text) into a :class:`~repro.translator.ir.KernelIR`: module
+  references are recorded as imports, same-origin helper functions are
+  recursively parsed, and free names / attribute chains that resolve to
+  scalars or arrays (``_g.gam``, closure constants) are constant-folded so
+  the canonical source is self-contained -- ready for the slab emitter.
 """
 
 from __future__ import annotations
 
+import ast
+import builtins
+import inspect
 import re
-from typing import Iterator
+import textwrap
+import types
+from typing import Any, Callable, Iterator, Optional, Union
+
+import numpy as np
 
 from repro.errors import TranslatorParseError
-from repro.translator.ir import ArgDescriptor, LoopSite, ProgramIR
+from repro.translator.ir import ArgDescriptor, KernelIR, LoopSite, ProgramIR
 
-__all__ = ["parse_source", "strip_comments", "split_top_level", "extract_calls"]
+__all__ = [
+    "parse_source",
+    "parse_kernel",
+    "strip_comments",
+    "split_top_level",
+    "extract_calls",
+]
 
 _CALL_NAMES = ("op_par_loop", "op_decl_set", "op_decl_map", "op_decl_dat")
 
@@ -177,3 +201,377 @@ def parse_source(source: str, *, source_name: str = "<string>") -> ProgramIR:
     if not program.loops:
         raise TranslatorParseError(f"{source_name}: no op_par_loop call sites found")
     return program
+
+
+# ---------------------------------------------------------------------------
+# Kernel-level parsing (capture → parse → KernelIR)
+# ---------------------------------------------------------------------------
+#: builtins a lowered kernel may call (numba supports all of these)
+_ALLOWED_BUILTINS = frozenset({"abs", "min", "max", "range", "len", "float", "int", "bool"})
+
+#: statement/expression forms outside the lowerable subset
+_BANNED_NODES: tuple[tuple[type, str], ...] = tuple(
+    (node_type, reason)
+    for node_type, reason in [
+        (ast.Lambda, "lambda expressions"),
+        (ast.AsyncFunctionDef, "async functions"),
+        (ast.ClassDef, "class definitions"),
+        (ast.Import, "import statements"),
+        (ast.ImportFrom, "import statements"),
+        (ast.Global, "global declarations"),
+        (ast.Nonlocal, "nonlocal declarations"),
+        (ast.Try, "try/except blocks"),
+        (getattr(ast, "TryStar", None), "try/except* blocks"),
+        (ast.With, "with blocks"),
+        (ast.AsyncWith, "async with blocks"),
+        (ast.AsyncFor, "async for loops"),
+        (ast.Yield, "generators"),
+        (ast.YieldFrom, "generators"),
+        (ast.Await, "await expressions"),
+        (ast.Starred, "starred arguments"),
+        (ast.ListComp, "comprehensions"),
+        (ast.SetComp, "comprehensions"),
+        (ast.DictComp, "comprehensions"),
+        (ast.GeneratorExp, "generator expressions"),
+        (ast.NamedExpr, "walrus assignments"),
+        (ast.Delete, "del statements"),
+        (ast.Assert, "assert statements"),
+        (ast.Raise, "raise statements"),
+        (ast.Match, "match statements"),
+        (ast.JoinedStr, "f-strings"),
+    ]
+    if node_type is not None
+)
+
+
+def _is_scalar_constant(value: Any) -> bool:
+    return isinstance(value, (bool, int, float, np.bool_, np.integer, np.floating))
+
+
+def _as_python_scalar(value: Any) -> Union[bool, int, float]:
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    return float(value)
+
+
+def _kernel_source(fn: Callable[..., Any], name: str) -> str:
+    try:
+        source = inspect.getsource(fn)
+    except (OSError, TypeError) as exc:
+        raise TranslatorParseError(
+            f"kernel {name!r}: source of {fn!r} is unavailable "
+            f"(define it in a file, or pass the source explicitly)"
+        ) from exc
+    return textwrap.dedent(source)
+
+
+class _AttributeFolder(ast.NodeTransformer):
+    """Fold ``Attribute`` chains rooted at resolvable non-module objects.
+
+    ``_g.gam`` (a frozen-dataclass field), ``_g.qinf`` (an ndarray property)
+    and friends become generated constant names; chains rooted at modules
+    (``math.sqrt``) or locals are left untouched.
+    """
+
+    def __init__(self, parser: "_KernelParser") -> None:
+        self.parser = parser
+
+    def visit_Attribute(self, node: ast.Attribute) -> ast.AST:
+        chain: list[str] = [node.attr]
+        root = node.value
+        while isinstance(root, ast.Attribute):
+            chain.append(root.attr)
+            root = root.value
+        if not (isinstance(root, ast.Name) and isinstance(root.ctx, ast.Load)):
+            return self.generic_visit(node)
+        if root.id in self.parser.local_names:
+            return self.generic_visit(node)
+        found, value = self.parser.resolve(root.id)
+        if not found or isinstance(value, types.ModuleType):
+            # unresolvable roots error later in the free-name scan; module
+            # attributes (math.sqrt) stay symbolic
+            return self.generic_visit(node)
+        chain.reverse()
+        dotted = ".".join([root.id, *chain])
+        try:
+            for attr in chain:
+                value = getattr(value, attr)
+        except AttributeError as exc:
+            raise TranslatorParseError(
+                f"kernel {self.parser.kernel_name!r}: cannot evaluate "
+                f"{dotted!r} for constant folding"
+            ) from exc
+        if isinstance(node.ctx, (ast.Store, ast.Del)):
+            raise TranslatorParseError(
+                f"kernel {self.parser.kernel_name!r}: assignment to module-"
+                f"level attribute {dotted!r} is outside the lowerable subset"
+            )
+        return ast.copy_location(
+            ast.Name(id=self.parser.fold_constant(dotted, value), ctx=ast.Load()),
+            node,
+        )
+
+
+class _KernelParser:
+    """One :func:`parse_kernel` invocation (helpers recurse through it)."""
+
+    def __init__(
+        self,
+        source: str,
+        *,
+        kernel_name: str,
+        globalns: dict[str, Any],
+        closure: dict[str, Any],
+        stack: tuple[int, ...],
+        is_helper: bool = False,
+    ) -> None:
+        self.source = source
+        self.kernel_name = kernel_name
+        self.globalns = globalns
+        self.closure = closure
+        self.stack = stack
+        self.is_helper = is_helper
+        self.local_names: set[str] = set()
+        self.modules: dict[str, str] = {}
+        self.constants: dict[str, Any] = {}
+        self.helpers: dict[str, KernelIR] = {}
+        self.features: set[str] = set()
+        self._fold_names: dict[str, str] = {}
+
+    # -- name resolution ---------------------------------------------------------
+    def resolve(self, name: str) -> tuple[bool, Any]:
+        """``(found, value)`` for a free name: closure, then module globals."""
+        if name in self.closure:
+            return True, self.closure[name]
+        if name in self.globalns:
+            return True, self.globalns[name]
+        return False, None
+
+    def fold_constant(self, dotted: str, value: Any) -> str:
+        """Bake an attribute-chain value; returns the generated constant name."""
+        generated = self._fold_names.get(dotted)
+        if generated is not None:
+            return generated
+        generated = "_k_" + re.sub(r"\W", "_", dotted).strip("_")
+        while generated in self.constants or generated in self.local_names:
+            generated += "_"
+        self._bake(generated, value, dotted)
+        self._fold_names[dotted] = generated
+        return generated
+
+    def _bake(self, name: str, value: Any, described_as: str) -> None:
+        if _is_scalar_constant(value):
+            self.constants[name] = _as_python_scalar(value)
+        elif isinstance(value, np.ndarray):
+            frozen = np.array(value)
+            frozen.setflags(write=False)
+            self.constants[name] = frozen
+        else:
+            raise TranslatorParseError(
+                f"kernel {self.kernel_name!r}: {described_as!r} resolves to "
+                f"{type(value).__name__}, which cannot be baked as a constant "
+                f"(only scalars and numpy arrays can)"
+            )
+
+    # -- parsing -----------------------------------------------------------------
+    def parse(self) -> KernelIR:
+        try:
+            tree = ast.parse(self.source)
+        except SyntaxError as exc:
+            raise TranslatorParseError(
+                f"kernel {self.kernel_name!r}: source does not parse: {exc}"
+            ) from exc
+        functions = [n for n in tree.body if isinstance(n, ast.FunctionDef)]
+        if len(functions) != 1:
+            raise TranslatorParseError(
+                f"kernel {self.kernel_name!r}: expected exactly one function "
+                f"definition, found {len(functions)}"
+            )
+        func = functions[0]
+        self._validate(func)
+        params = self._collect_params(func)
+        self._collect_locals(func)
+        self._strip_annotations(func)
+        func = _AttributeFolder(self).visit(func)
+        self._resolve_free_names(func, params)
+        func.decorator_list = []
+        ast.fix_missing_locations(func)
+        return KernelIR(
+            name=self.kernel_name,
+            func_name=func.name,
+            params=params,
+            source=ast.unparse(func),
+            modules=dict(self.modules),
+            constants=dict(self.constants),
+            helpers=tuple(self.helpers.values()),
+            features=frozenset(self.features),
+        )
+
+    def _validate(self, func: ast.FunctionDef) -> None:
+        for node in ast.walk(func):
+            for banned, reason in _BANNED_NODES:
+                if isinstance(node, banned):
+                    raise TranslatorParseError(
+                        f"kernel {self.kernel_name!r}: {reason} are outside "
+                        f"the lowerable subset (line {getattr(node, 'lineno', '?')})"
+                    )
+            if isinstance(node, ast.FunctionDef) and node is not func:
+                raise TranslatorParseError(
+                    f"kernel {self.kernel_name!r}: nested function definitions "
+                    f"are outside the lowerable subset"
+                )
+            if isinstance(node, ast.Return) and node.value is not None and not self.is_helper:
+                value = node.value
+                if not (isinstance(value, ast.Constant) and value.value is None):
+                    raise TranslatorParseError(
+                        f"kernel {self.kernel_name!r}: kernels write through "
+                        f"their arguments and must not return values"
+                    )
+            if isinstance(node, ast.Call) and node.keywords:
+                raise TranslatorParseError(
+                    f"kernel {self.kernel_name!r}: keyword arguments in calls "
+                    f"are outside the lowerable subset"
+                )
+        for node in ast.walk(func):
+            if isinstance(node, (ast.For, ast.While)):
+                self.features.add("loop")
+            elif isinstance(node, ast.If):
+                self.features.add("branch")
+            elif isinstance(node, ast.Return) and node is not func.body[-1]:
+                self.features.add("early-return")
+
+    def _collect_params(self, func: ast.FunctionDef) -> tuple[str, ...]:
+        args = func.args
+        if args.vararg or args.kwarg or args.kwonlyargs or args.defaults or args.kw_defaults:
+            raise TranslatorParseError(
+                f"kernel {self.kernel_name!r}: only plain positional "
+                f"parameters are lowerable (no *args/**kwargs/defaults)"
+            )
+        return tuple(a.arg for a in [*args.posonlyargs, *args.args])
+
+    def _collect_locals(self, func: ast.FunctionDef) -> None:
+        self.local_names.update(a.arg for a in [*func.args.posonlyargs, *func.args.args])
+        for node in ast.walk(func):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, (ast.Store, ast.Del)):
+                self.local_names.add(node.id)
+
+    def _resolve_free_names(self, func: ast.FunctionDef, params: tuple[str, ...]) -> None:
+        for node in ast.walk(func):
+            if not (isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)):
+                continue
+            name = node.id
+            if name in self.local_names or name in self.constants:
+                continue
+            found, value = self.resolve(name)
+            if not found:
+                if name in _ALLOWED_BUILTINS and hasattr(builtins, name):
+                    continue
+                raise TranslatorParseError(
+                    f"kernel {self.kernel_name!r}: free name {name!r} is "
+                    f"neither a lowerable builtin ({sorted(_ALLOWED_BUILTINS)}) "
+                    f"nor resolvable in the kernel's defining scope"
+                )
+            if isinstance(value, types.ModuleType):
+                self.modules[name] = value.__name__
+            elif isinstance(value, types.FunctionType):
+                self._parse_helper(name, value)
+            else:
+                self._bake(name, value, name)
+
+    def _parse_helper(self, name: str, fn: types.FunctionType) -> None:
+        if name in self.helpers:
+            return
+        self.features.add("helper-call")
+        if id(fn) in self.stack:
+            raise TranslatorParseError(
+                f"kernel {self.kernel_name!r}: helper {name!r} is recursive, "
+                f"which is outside the lowerable subset"
+            )
+        helper_ir = parse_kernel(
+            fn,
+            name=f"{self.kernel_name}.{name}",
+            _stack=(*self.stack, id(fn)),
+            _helper=True,
+        )
+        if helper_ir.func_name != name:
+            raise TranslatorParseError(
+                f"kernel {self.kernel_name!r}: helper {name!r} is an alias of "
+                f"{helper_ir.func_name!r}; call helpers by their defining name"
+            )
+        self.helpers[name] = helper_ir
+
+    @staticmethod
+    def _strip_annotations(func: ast.FunctionDef) -> None:
+        func.returns = None
+        for arg in [*func.args.posonlyargs, *func.args.args]:
+            arg.annotation = None
+        for index, node in enumerate(func.body):
+            if isinstance(node, ast.AnnAssign):
+                if node.value is None:
+                    raise TranslatorParseError(
+                        "bare annotated declarations are outside the lowerable subset"
+                    )
+                func.body[index] = ast.copy_location(
+                    ast.Assign(targets=[node.target], value=node.value), node
+                )
+
+
+def parse_kernel(
+    kernel: Union[Callable[..., Any], str],
+    *,
+    name: Optional[str] = None,
+    globalns: Optional[dict[str, Any]] = None,
+    _stack: tuple[int, ...] = (),
+    _helper: bool = False,
+) -> KernelIR:
+    """Parse one elemental kernel into a :class:`~repro.translator.ir.KernelIR`.
+
+    ``kernel`` is either a plain Python function (its source is captured via
+    :mod:`inspect` and free names resolve against its defining scope --
+    closure cells first, then module globals) or raw source text containing
+    exactly one ``def`` (free names then resolve against ``globalns``).
+
+    The lowerable subset is straight-line numeric Python plus ``for``/
+    ``while`` loops, ``if`` branches and early ``return``: no nested or
+    recursive functions, comprehensions, try/with, keyword arguments,
+    starred arguments or non-``None`` return values.  Free names must
+    resolve to modules (recorded as imports), plain same-origin functions
+    (recursively parsed as helpers), or scalar/ndarray values (baked as
+    constants; attribute chains like ``_g.gam`` are folded the same way).
+    Anything else raises :class:`~repro.errors.TranslatorParseError`.
+    """
+    closure: dict[str, Any] = {}
+    if callable(kernel) and not isinstance(kernel, str):
+        fn = kernel
+        kernel_name = name or getattr(fn, "__name__", "<kernel>")
+        if getattr(fn, "__name__", "") == "<lambda>":
+            raise TranslatorParseError(
+                f"kernel {kernel_name!r}: lambda kernels cannot be lowered"
+            )
+        source = _kernel_source(fn, kernel_name)
+        resolved_globals = dict(getattr(fn, "__globals__", {}) or {})
+        if globalns:
+            resolved_globals.update(globalns)
+        code = getattr(fn, "__code__", None)
+        cells = getattr(fn, "__closure__", None)
+        if code is not None and cells:
+            for var, cell in zip(code.co_freevars, cells):
+                try:
+                    closure[var] = cell.cell_contents
+                except ValueError:  # pragma: no cover - empty cell
+                    pass
+    else:
+        source = textwrap.dedent(str(kernel))
+        kernel_name = name or "<kernel>"
+        resolved_globals = dict(globalns or {})
+    parser = _KernelParser(
+        source,
+        kernel_name=kernel_name,
+        globalns=resolved_globals,
+        closure=closure,
+        stack=_stack,
+        is_helper=_helper,
+    )
+    return parser.parse()

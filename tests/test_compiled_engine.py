@@ -1,0 +1,223 @@
+"""The ``compiled`` engine: capability-driven slab dispatch and its caches.
+
+Covers the engine half of the kernel-lowering pipeline: registration through
+:func:`repro.engines.register_engine`, the session-scoped
+:class:`~repro.session.KernelArtifactCache` (hit/miss accounting, teardown at
+``close()``, fingerprint-keyed invalidation when a kernel is redefined), and
+the graceful per-kernel degradation to interpretation -- one
+``RuntimeWarning`` per kernel *content*, numbers still bit-identical to
+serial.  Numba-specific behaviour is import-gated: the suite passes with and
+without numba installed, asserting the backend actually in use.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.apps.jacobi import build_ring_problem, run_jacobi
+from repro.engines import available_engines, engine_capabilities
+from repro.op2 import (
+    OP_ID,
+    OP_READ,
+    OP_WRITE,
+    Kernel,
+    op_arg_dat,
+    op_decl_dat,
+    op_decl_set,
+    op_par_loop,
+)
+from repro.op2.backends.hpx import hpx_context
+from repro.op2.backends.serial import serial_context
+from repro.op2.context import active_context
+from repro.op2.plan import clear_plan_cache
+from repro.session import Session
+from repro.translator import SlabArg, build_slab, parse_kernel
+
+try:
+    import numba  # noqa: F401
+except ImportError:  # pragma: no cover - depends on the environment
+    numba = None
+
+
+class TestRegistration:
+    def test_compiled_engine_is_builtin(self):
+        assert "compiled" in available_engines()
+
+    def test_capability_flag_is_the_dispatch_contract(self):
+        """The pipeline lowers slabs for any engine advertising the flag --
+        there is no engine-name branch, so the flag alone must separate the
+        compiled engine from the interpreted ones."""
+        assert engine_capabilities("compiled").compiled_kernels
+        for name in ("simulate", "threads", "processes"):
+            assert not engine_capabilities(name).compiled_kernels
+
+    def test_capability_appears_in_describe(self):
+        assert engine_capabilities("compiled").describe()["compiled_kernels"] is True
+
+
+class TestArtifactCache:
+    def _jacobi(self, iterations=4):
+        clear_plan_cache()
+        problem = build_ring_problem(num_nodes=200)
+        with active_context(hpx_context(num_threads=2, engine="compiled")):
+            return run_jacobi(problem, iterations=iterations)
+
+    def test_artifacts_cached_per_kernel_and_reused(self):
+        with Session(name="artifact-cache-test") as session:
+            self._jacobi()
+            stats = session.artifact_cache_stats()
+            # two kernels (res, update) -> two builds; every later chunk hits
+            assert stats["misses"] == 2
+            assert stats["entries"] == 2
+            assert stats["hits"] > 0
+
+    def test_close_tears_down_artifacts(self):
+        with Session(name="artifact-teardown-test") as session:
+            self._jacobi()
+            assert session.artifact_cache_stats()["entries"] > 0
+        assert session.artifact_cache_stats()["entries"] == 0
+
+    def test_redefined_kernel_gets_fresh_artifact(self):
+        """Same kernel name, different source -> different fingerprint ->
+        different cache key.  A stale artifact must never serve the new code
+        (the multiprocess fingerprint bug, at the artifact-cache layer)."""
+        ns_a: dict = {}
+        ns_b: dict = {}
+        exec("def redef(a, out):\n    out[0] = a[0] + 1.0\n", ns_a)
+        exec("def redef(a, out):\n    out[0] = a[0] * 3.0\n", ns_b)
+        k_a = Kernel("redef", ns_a["redef"], source="def redef(a, out):\n    out[0] = a[0] + 1.0\n")
+        k_b = Kernel("redef", ns_b["redef"], source="def redef(a, out):\n    out[0] = a[0] * 3.0\n")
+        assert k_a.fingerprint != k_b.fingerprint
+
+        def run(kern):
+            clear_plan_cache()
+            cells = op_decl_set(8, "redef_cells")
+            src = op_decl_dat(cells, 1, "double", np.arange(8.0), "redef_src")
+            dst = op_decl_dat(cells, 1, "double", np.zeros(8), "redef_dst")
+            with active_context(hpx_context(num_threads=2, engine="compiled")):
+                op_par_loop(kern, "redef", cells,
+                            op_arg_dat(src, -1, OP_ID, 1, "double", OP_READ),
+                            op_arg_dat(dst, -1, OP_ID, 1, "double", OP_WRITE))
+            return dst.data.copy()
+
+        with Session(name="redef-test") as session:
+            out_a = run(k_a)
+            out_b = run(k_b)
+            assert np.array_equal(out_a[:, 0], np.arange(8.0) + 1.0)
+            assert np.array_equal(out_b[:, 0], np.arange(8.0) * 3.0)
+            assert session.artifact_cache_stats()["entries"] == 2
+
+
+class TestGracefulFallback:
+    def _run_unlowerable(self, kern):
+        clear_plan_cache()
+        cells = op_decl_set(16, "fallback_cells")
+        src = op_decl_dat(cells, 1, "double", np.arange(16.0), "fb_src")
+        dst = op_decl_dat(cells, 1, "double", np.zeros(16), "fb_dst")
+        with active_context(hpx_context(num_threads=2, engine="compiled")):
+            op_par_loop(kern, "fallback", cells,
+                        op_arg_dat(src, -1, OP_ID, 1, "double", OP_READ),
+                        op_arg_dat(dst, -1, OP_ID, 1, "double", OP_WRITE))
+        return dst.data.copy()
+
+    def test_unlowerable_kernel_warns_once_then_stays_quiet(self):
+        """A kernel outside the lowerable subset degrades to interpretation
+        with a single RuntimeWarning for its fingerprint -- re-running the
+        same kernel must not warn again, and the numbers stay correct."""
+        captured = {}
+
+        def opaque(a, out):
+            out[0] = captured.get("bias", 0.0) + a[0]  # dict closure: unbakeable
+
+        kern = Kernel("opaque_fallback", opaque)
+        with pytest.warns(RuntimeWarning, match="could not be lowered"):
+            first = self._run_unlowerable(kern)
+        assert np.array_equal(first[:, 0], np.arange(16.0))
+
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            second = self._run_unlowerable(kern)
+        assert np.array_equal(second[:, 0], np.arange(16.0))
+        assert not [w for w in record if issubclass(w.category, RuntimeWarning)
+                    and "could not be lowered" in str(w.message)]
+
+    def test_lowering_failure_is_memoized_on_the_kernel(self):
+        from repro.errors import TranslatorError
+
+        kern = Kernel("opaque_memo", lambda a: None)
+        with pytest.raises(TranslatorError) as first:
+            kern.kernel_ir()
+        with pytest.raises(TranslatorError) as second:
+            kern.kernel_ir()
+        assert first.value is second.value
+
+
+class TestKernelLoweredAPI:
+    def test_ir_only_artifact(self):
+        def double(a, out):
+            out[0] = 2.0 * a[0]
+
+        kern = Kernel("lowered_api", double)
+        artifact = kern.lowered()
+        assert artifact.backend == "none" and artifact.slab is None
+        assert artifact.ir.func_name == "double"
+        assert artifact.fingerprint == kern.fingerprint
+
+    def test_signature_builds_callable_slab(self):
+        def double(a, out):
+            out[0] = 2.0 * a[0]
+
+        kern = Kernel("lowered_api_slab", double)
+        signature = (SlabArg(kind="direct", access="READ", dim=1, dtype="float64"),
+                     SlabArg(kind="direct", access="WRITE", dim=1, dtype="float64"))
+        artifact = kern.lowered(signature)
+        assert callable(artifact.slab)
+        assert artifact.describe()["backend"] in ("numba", "numpy")
+
+
+class TestParityAgainstSerial:
+    def test_jacobi_bit_identical_to_serial(self):
+        clear_plan_cache()
+        reference_problem = build_ring_problem(num_nodes=300)
+        with active_context(serial_context()):
+            reference = run_jacobi(reference_problem, iterations=8)
+        clear_plan_cache()
+        problem = build_ring_problem(num_nodes=300)
+        with active_context(hpx_context(num_threads=4, engine="compiled")):
+            result = run_jacobi(problem, iterations=8)
+        assert np.array_equal(result.u, reference.u)
+        assert result.u_max_history == reference.u_max_history
+
+
+# ---------------------------------------------------------------------------
+# numba-specific behaviour (import-gated both ways)
+# ---------------------------------------------------------------------------
+def _build_direct_artifact():
+    def scale(a, out):
+        out[0] = 2.0 * a[0]
+
+    signature = (SlabArg(kind="direct", access="READ", dim=1, dtype="float64"),
+                 SlabArg(kind="direct", access="WRITE", dim=1, dtype="float64"))
+    return build_slab(parse_kernel(scale), signature, fingerprint="backend-probe")
+
+
+@pytest.mark.skipif(numba is None, reason="numba not installed")
+class TestNumbaBackend:
+    def test_slab_jits_through_numba(self):
+        artifact = _build_direct_artifact()
+        assert artifact.backend == "numba"
+        a = np.arange(8.0).reshape(8, 1)
+        out = np.zeros((8, 1))
+        artifact.slab(0, 8, a, out)
+        assert np.array_equal(out, 2.0 * a)
+
+
+@pytest.mark.skipif(numba is not None, reason="numba installed")
+class TestNumpyFallbackBackend:
+    def test_slab_falls_back_to_plain_numpy(self):
+        artifact = _build_direct_artifact()
+        assert artifact.backend == "numpy"
+        assert "BACKEND" in artifact.module_source

@@ -1,12 +1,15 @@
 """Elemental ≡ vectorised parity (property-based) and bugfix regressions.
 
-The repo's core numerical invariant is that a kernel's elemental and block
-(vectorised) forms produce identical results for every access mode --
-including globals under WRITE/RW (historically divergent: the vectorised path
-handed the kernel a zero buffer and *added* it into the global) and duplicate
-map targets under WRITE/RW scatter-back (historically last-writer-wins on
-stale gathered values).  All draws are integer-valued doubles, so every
-operation is exact and the comparison can demand bit equality.
+The repo's core numerical invariant is that a kernel's elemental, block
+(vectorised) and compiled-slab forms produce identical results for every
+access mode -- including globals under WRITE/RW (historically divergent: the
+vectorised path handed the kernel a zero buffer and *added* it into the
+global) and duplicate map targets under WRITE/RW scatter-back (historically
+last-writer-wins on stale gathered values).  The compiled leg runs through
+the ``compiled`` engine, so it also exercises the per-loop fallback tiers
+(global WRITE/RW and conflicting chunks degrade to interpretation).  All
+draws are integer-valued doubles, so every operation is exact and the
+comparison can demand bit equality.
 """
 
 from __future__ import annotations
@@ -100,6 +103,34 @@ def _kernels_for(mode: AccessMode, gmode: AccessMode) -> Kernel:
                   vectorized=vectorized)
 
 
+def _compiled_kernel_for(mode: AccessMode, gmode: AccessMode) -> Kernel:
+    """Source-generated twin of :func:`_kernels_for` with the access-mode
+    branches already resolved, so the kernel parser sees straight-line
+    lowerable code (the closure over ``mode`` would otherwise be unbakeable).
+    """
+    body = {
+        AccessMode.READ: ["out[0] = nd[0] + ein[0]"],
+        AccessMode.WRITE: ["nd[0] = ein[0]", "out[0] = ein[0]"],
+        AccessMode.RW: ["nd[0] = nd[0] + ein[0]", "out[0] = nd[0]"],
+        AccessMode.INC: ["nd[0] += ein[0]", "out[0] = ein[0]"],
+    }[mode]
+    body = body + {
+        AccessMode.READ: ["out[0] += g[0]"],
+        AccessMode.WRITE: ["g[0] = 7.0"],
+        AccessMode.RW: ["g[0] = g[0] + ein[0]"],
+        AccessMode.INC: ["g[0] += ein[0]"],
+        AccessMode.MIN: ["g[0] = min(g[0], ein[0])"],
+        AccessMode.MAX: ["g[0] = max(g[0], ein[0])"],
+    }[gmode]
+    name = f"cparity_{mode.value}_{gmode.value}"
+    source = f"def {name}(ein, nd, out, g):\n" + "".join(
+        f"    {line}\n" for line in body
+    )
+    namespace: dict = {}
+    exec(compile(source, "<parity>", "exec"), namespace)
+    return Kernel(name=name, elemental=namespace[name], source=source)
+
+
 def _build_problem(mapping, edge_vals, node_vals, gbl0):
     edges = op_decl_set(len(mapping), "edges")
     nodes = op_decl_set(len(node_vals), "nodes")
@@ -146,12 +177,11 @@ def test_elemental_equals_vectorized_for_every_access_mode(data):
     gbl0 = data.draw(st.integers(-50, 50), label="gbl0")
     kernel = _kernels_for(mode, gmode)
 
-    results = []
-    for prefer_vectorized in (False, True):
+    def run_case(run_kernel, context):
         edges, pedge, ein, out, nd, g = _build_problem(mapping, edge_vals, node_vals, gbl0)
-        with active_context(serial_context(prefer_vectorized=prefer_vectorized)):
+        with active_context(context):
             op_par_loop(
-                kernel,
+                run_kernel,
                 "parity",
                 edges,
                 op_arg_dat(ein, -1, OP_ID, 1, "double", OP_READ),
@@ -159,12 +189,20 @@ def test_elemental_equals_vectorized_for_every_access_mode(data):
                 op_arg_dat(out, -1, OP_ID, 1, "double", OP_WRITE),
                 op_arg_gbl(g, 1, "double", gmode),
             )
-        results.append((nd.data.copy(), out.data.copy(), g.copy()))
+        return nd.data.copy(), out.data.copy(), g.copy()
 
-    (nd_e, out_e, g_e), (nd_v, out_v, g_v) = results
+    nd_e, out_e, g_e = run_case(kernel, serial_context(prefer_vectorized=False))
+    nd_v, out_v, g_v = run_case(kernel, serial_context(prefer_vectorized=True))
+    nd_c, out_c, g_c = run_case(
+        _compiled_kernel_for(mode, gmode),
+        openmp_context(num_threads=2, engine="compiled"),
+    )
     assert np.array_equal(nd_e, nd_v), "node dat diverged between paths"
     assert np.array_equal(out_e, out_v), "direct output diverged between paths"
     assert np.array_equal(g_e, g_v), "global diverged between paths"
+    assert np.array_equal(nd_e, nd_c), "node dat diverged on the compiled path"
+    assert np.array_equal(out_e, out_c), "direct output diverged on the compiled path"
+    assert np.array_equal(g_e, g_c), "global diverged on the compiled path"
 
 
 # ---------------------------------------------------------------------------

@@ -332,7 +332,7 @@ class TestHPXProcesses:
 
     def test_post_fork_kernel_shadowing_detected_in_worker(self):
         """A same-named kernel defined after the pool forked shadows the
-        worker-side registry entry; the qualname fingerprint catches it."""
+        worker-side registry entry; the source fingerprint catches it."""
         from repro.errors import OP2BackendError
         from repro.op2 import OP_ID, OP_WRITE, Kernel, op_arg_dat
         from repro.op2 import op_decl_dat, op_decl_set, op_par_loop
@@ -346,7 +346,7 @@ class TestHPXProcesses:
 
         Kernel(name="shadowed_process_kernel", elemental=pre_fork_elem)
         context = hpx_context(num_threads=2, engine="processes")
-        with pytest.raises(OP2BackendError, match="must be unique"):
+        with pytest.raises(OP2BackendError, match="one kernel source"):
             with active_context(context):
                 # Force the fork (workers inherit the pre-fork binding).
                 op_par_loop(

@@ -231,11 +231,15 @@ class TestHarness:
             backend="hpx", num_threads=4, workload=self.WORKLOAD
         )
         comparison = run_wallclock_comparison(config)
-        assert set(comparison) == {"simulate", "threads", "processes"}
+        assert set(comparison) == {"simulate", "threads", "processes", "compiled"}
         for entry in comparison.values():
             assert entry["makespan_seconds"] > 0.0
             assert entry["wall_seconds"] > 0.0
             assert entry["numerically_correct"] == 1.0
+        # The compiled engine is the only one lowering kernels, so only its
+        # entry should report artifact-cache traffic.
+        assert comparison["compiled"]["details"]["artifact_cache_misses"] > 0
+        assert comparison["simulate"]["details"]["artifact_cache_misses"] == 0
 
     def test_wallclock_comparison_respects_execution_subset(self):
         config = ExperimentConfig(

@@ -7,13 +7,25 @@ import types
 import numpy as np
 import pytest
 
-from repro.errors import TranslatorCodegenError, TranslatorError, TranslatorParseError
+from repro.errors import (
+    TranslatorCodegenError,
+    TranslatorError,
+    TranslatorLoweringError,
+    TranslatorParseError,
+)
 from repro.translator import (
+    SlabArg,
     analyse_dependences,
+    analyse_kernel,
+    build_slab,
+    emit_slab_module,
     generate_hpx_module,
     generate_openmp_module,
+    make_slab_prepare,
     op2_translate,
+    parse_kernel,
     parse_source,
+    slab_signature,
 )
 from repro.translator.codegen_common import validate_identifier, wrapper_name
 from repro.translator.ir import ArgDescriptor, LoopSite
@@ -236,3 +248,225 @@ class TestDriver:
         result = op2_translate(AIRFOIL_SOURCE, flavours=("hpx",))
         with pytest.raises(TranslatorError):
             result.module_for("openmp")
+
+# ---------------------------------------------------------------------------
+# Kernel-level pipeline: parse -> analyse -> emit -> build
+# ---------------------------------------------------------------------------
+def _airfoil_kernels():
+    from repro.apps.airfoil import kernels as K
+
+    return {"save_soln": K.SAVE_SOLN, "adt_calc": K.ADT_CALC,
+            "res_calc": K.RES_CALC, "bres_calc": K.BRES_CALC, "update": K.UPDATE}
+
+
+class TestKernelParserRoundTrip:
+    """Satellite regression suite: the kernel parser must round-trip every
+    real application kernel into a self-contained, compilable IR."""
+
+    def test_every_app_kernel_parses(self):
+        from repro.apps.aero import _cell_relax, _node_update
+        from repro.apps.jacobi import _res, _update
+
+        kernels = [k.kernel_ir() for k in _airfoil_kernels().values()]
+        kernels += [parse_kernel(fn) for fn in (_res, _update, _cell_relax, _node_update)]
+        for ir in kernels:
+            assert ir.params
+            for text in ir.all_sources():
+                compile(text, "<kernel>", "exec")
+
+    def test_attribute_chain_constants_folded(self):
+        """``_g.gam``-style module references are baked as generated constants."""
+        ir = _airfoil_kernels()["adt_calc"].kernel_ir()
+        assert all("_g." not in text for text in ir.all_sources())
+        values = [v for v in ir.all_constants().values() if isinstance(v, float)]
+        assert any(abs(v - 1.4) < 1e-15 for v in values)  # gamma
+
+    def test_ndarray_constant_baked(self):
+        """The far-field state ``_g.qinf`` becomes an ndarray constant."""
+        ir = _airfoil_kernels()["bres_calc"].kernel_ir()
+        arrays = [v for v in ir.all_constants().values() if isinstance(v, np.ndarray)]
+        assert any(a.shape == (4,) and a.dtype == np.float64 for a in arrays)
+
+    def test_helper_functions_recursively_parsed(self):
+        ir = _airfoil_kernels()["adt_calc"].kernel_ir()
+        assert [h.func_name for h in ir.helpers] == ["_edge_contribution"]
+        sources = ir.all_sources()
+        assert sources[-1].startswith("def _adt_calc")
+        assert sources[0].startswith("def _edge_contribution")
+
+    def test_annotations_stripped(self):
+        def annotated(a: np.ndarray, out: np.ndarray) -> None:
+            scaled: float = a[0] * 2.0
+            out[0] = scaled
+
+        ir = parse_kernel(annotated)
+        assert "->" not in ir.source and ": float" not in ir.source
+        assert "np.ndarray" not in ir.source
+
+    def test_structural_features_recorded(self):
+        def busy(a, out):
+            if a[0] < 0.0:
+                out[0] = 0.0
+                return
+            total = 0.0
+            for i in range(3):
+                total = max(total, a[i])
+            out[0] = total
+
+        ir = parse_kernel(busy)
+        assert {"loop", "branch", "early-return"} <= ir.features
+
+    def test_unlowerable_kernels_rejected(self):
+        with pytest.raises(TranslatorParseError):
+            parse_kernel(lambda a: None)
+        with pytest.raises(TranslatorParseError):
+            parse_kernel("def k(a):\n    print(a[0])\n")
+
+
+class TestKernelAccessAnalysis:
+    def test_app_kernel_classifications(self):
+        kernels = _airfoil_kernels()
+        save = analyse_kernel(kernels["save_soln"].kernel_ir())
+        assert save.access_of("q") == "read" and save.access_of("qold") == "write"
+        update = analyse_kernel(kernels["update"].kernel_ir())
+        assert update.access_of("q") == "write"
+        assert update.access_of("res") == "rw"
+        assert update.access_of("rms") == "rw"
+        res = analyse_kernel(kernels["res_calc"].kernel_ir())
+        assert res.access_of("res1") == "rw" and res.access_of("x1") == "read"
+
+    def test_helper_call_propagates_access(self):
+        """``_adt_calc`` only reads x1..x4 *through* ``_edge_contribution``."""
+        analysis = analyse_kernel(_airfoil_kernels()["adt_calc"].kernel_ir())
+        for param in ("x1", "x2", "x3", "x4"):
+            assert analysis.access_of(param) == "read"
+        assert analysis.access_of("adt") == "write"
+
+    def test_param_rebinding_rejected(self):
+        def rebinder(a, out):
+            a = a[0] + 1.0
+            out[0] = a
+
+        with pytest.raises(TranslatorLoweringError):
+            analyse_kernel(parse_kernel(rebinder))
+
+    def test_unknown_param_rejected(self):
+        analysis = analyse_kernel(_airfoil_kernels()["save_soln"].kernel_ir())
+        with pytest.raises(TranslatorError):
+            analysis.access_of("nope")
+
+
+class TestSlabEmission:
+    DIRECT_READ = SlabArg(kind="direct", access="READ", dim=1, dtype="float64")
+    DIRECT_WRITE = SlabArg(kind="direct", access="WRITE", dim=1, dtype="float64")
+
+    def test_emitted_module_compiles(self):
+        def scale(a, out):
+            out[0] = 2.0 * a[0]
+
+        ir = parse_kernel(scale)
+        source = emit_slab_module(ir, (self.DIRECT_READ, self.DIRECT_WRITE))
+        compile(source, "<slab>", "exec")
+        assert "def _slab(start, stop" in source
+        assert "BACKEND" in source
+
+    def test_build_slab_reports_backend(self):
+        def scale(a, out):
+            out[0] = 2.0 * a[0]
+
+        artifact = build_slab(parse_kernel(scale),
+                              (self.DIRECT_READ, self.DIRECT_WRITE), fingerprint="t")
+        assert artifact.backend in ("numba", "numpy")
+        assert callable(artifact.slab)
+        a = np.arange(4.0).reshape(4, 1)
+        out = np.zeros((4, 1))
+        artifact.slab(0, 4, a, out)
+        assert np.array_equal(out, 2.0 * a)
+
+    def test_global_write_refused(self):
+        def gwrite(a, g):
+            g[0] = a[0]
+
+        signature = (self.DIRECT_READ,
+                     SlabArg(kind="gbl", access="WRITE", dim=1, dtype="float64"))
+        with pytest.raises(TranslatorLoweringError):
+            emit_slab_module(parse_kernel(gwrite), signature)
+
+    def test_access_cross_check_refuses_miscompiled_slab(self):
+        """A kernel that writes a parameter declared OP_READ never builds."""
+        def sneaky(a, out):
+            a[0] = 0.0
+            out[0] = a[0]
+
+        with pytest.raises(TranslatorLoweringError, match="miscompile"):
+            emit_slab_module(parse_kernel(sneaky),
+                             (self.DIRECT_READ, self.DIRECT_WRITE))
+
+    def test_arity_mismatch_refused(self):
+        def scale(a, out):
+            out[0] = 2.0 * a[0]
+
+        with pytest.raises(TranslatorLoweringError):
+            emit_slab_module(parse_kernel(scale), (self.DIRECT_READ,))
+
+
+class TestSlabParity:
+    def test_slab_bit_identical_to_vectorized_path(self):
+        """The compiled slab must reproduce ``_prepare_vectorized`` exactly
+        (same staging, same merge order) across direct, indirect-read,
+        indirect-increment and global-reduction arguments."""
+        from repro.op2.access import OP_ID, OP_INC, OP_MAX, OP_READ
+        from repro.op2.args import op_arg_dat, op_arg_gbl
+        from repro.op2.dat import OpDat
+        from repro.op2.kernel import Kernel
+        from repro.op2.map import OpMap
+        from repro.op2.par_loop import ParLoop
+        from repro.op2.set import OpSet
+
+        rng = np.random.default_rng(42)
+        nodes, edges = OpSet(10, "parity_nodes"), OpSet(14, "parity_edges")
+        e2n = OpMap(edges, nodes, 2, rng.integers(0, 10, size=(14, 2)), "parity_e2n")
+        xd = OpDat(nodes, 2, "double", rng.standard_normal((10, 2)), "parity_x")
+        res = OpDat(nodes, 1, "double", np.zeros((10, 1)), "parity_res")
+        w = OpDat(edges, 1, "double", rng.standard_normal((14, 1)), "parity_w")
+
+        def _edge(x1, x2, wgt, r1, r2, acc):
+            d0 = x1[0] - x2[0]
+            d1 = x1[1] - x2[1]
+            e = wgt[0] * (d0 * d0 + d1 * d1)
+            r1[0] += e
+            r2[0] += e
+            if e > acc[0]:
+                acc[0] = e
+
+        def _edge_vec(_idx, x1, x2, wgt, r1, r2, acc):
+            d = x1 - x2
+            e = wgt[:, 0] * (d[:, 0] ** 2 + d[:, 1] ** 2)
+            r1[:, 0] += e
+            r2[:, 0] += e
+            acc[0] = max(acc[0], e.max())
+
+        gmax = np.zeros(1)
+        loop = ParLoop(Kernel("parity_edge", _edge, vectorized=_edge_vec),
+                       "parity_edge", edges, [
+            op_arg_dat(xd, 0, e2n, 2, "double", OP_READ),
+            op_arg_dat(xd, 1, e2n, 2, "double", OP_READ),
+            op_arg_dat(w, -1, OP_ID, 1, "double", OP_READ),
+            op_arg_dat(res, 0, e2n, 1, "double", OP_INC),
+            op_arg_dat(res, 1, e2n, 1, "double", OP_INC),
+            op_arg_gbl(gmax, 1, "double", OP_MAX),
+        ])
+        artifact = build_slab(parse_kernel(_edge), slab_signature(loop),
+                              fingerprint="parity")
+
+        res0, g0 = res.data.copy(), gmax.copy()
+        for merge in (loop._prepare_vectorized(0, 7), loop._prepare_vectorized(7, 14)):
+            merge()
+        res_vec, g_vec = res.data.copy(), gmax.copy()
+
+        res.data[:], gmax[:] = res0, g0
+        for merge in (make_slab_prepare(loop, artifact, 0, 7),
+                      make_slab_prepare(loop, artifact, 7, 14)):
+            merge()
+        assert np.array_equal(res.data, res_vec)
+        assert np.array_equal(gmax, g_vec)
