@@ -900,6 +900,10 @@ class LoopPipeline:
             "engine_capabilities": self.capabilities.describe(),
         }
         details.update(self.policy.report_details(self))
+        if self.session is not None:
+            # Per-tenant observability: cache hit rates, live engine keys and
+            # arena counts of the session this pipeline borrowed engines from.
+            details["session"] = self.session.stats()
         return BackendReport(
             backend=backend_name,
             num_threads=1 if self.policy.single_worker else self.num_threads,

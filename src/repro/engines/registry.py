@@ -29,6 +29,7 @@ from repro.errors import OP2BackendError, ReproDeprecationWarning
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engines.base import EngineCapabilities, ExecutionEngine, RunConfig
+    from repro.service.pool import SharedEnginePool
     from repro.session import Session
 
 __all__ = [
@@ -114,7 +115,11 @@ def engine_capabilities(name: str) -> "EngineCapabilities":
 
 
 def make_engine(
-    config: "RunConfig", *, session: Optional["Session"] = None
+    config: "RunConfig",
+    *,
+    session: Optional["Session"] = None,
+    pool: Optional["SharedEnginePool"] = None,
+    tenant: Optional[str] = None,
 ) -> "ExecutionEngine":
     """Instantiate the engine named by ``config.engine``, handing it the config.
 
@@ -122,9 +127,22 @@ def make_engine(
     an engine already built for an equivalent config is returned live (its
     worker pool still up), and ownership moves to the session -- it is shut
     down at :meth:`~repro.session.Session.close`, not by the caller.
+
+    With ``pool=`` the call *leases* from a process-wide
+    :class:`~repro.service.SharedEnginePool` shared across sessions: the
+    returned :class:`~repro.service.EngineLease` scopes draining and failure
+    to the caller (keyed by ``tenant`` for fair scheduling) while the engine
+    itself stays warm in the pool.  ``session=`` and ``pool=`` are mutually
+    exclusive; ``tenant=`` requires ``pool=``.
     """
+    if session is not None and pool is not None:
+        raise OP2BackendError("pass session=... or pool=..., not both")
+    if tenant is not None and pool is None:
+        raise OP2BackendError("tenant= requires pool=")
     if session is not None:
         return session.engine(config)
+    if pool is not None:
+        return pool.lease(config, tenant=tenant)
     factory, _capabilities = _lookup(config.engine)
     return factory(config)
 

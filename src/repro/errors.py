@@ -19,6 +19,10 @@ __all__ = [
     "CancelledError",
     "SchedulerError",
     "PolicyError",
+    "ServiceError",
+    "AdmissionError",
+    "ServiceTimeoutError",
+    "ServiceClosedError",
     "ChunkingError",
     "PrefetchError",
     "OP2Error",
@@ -85,6 +89,23 @@ class SchedulerError(ReproError):
 
 class PolicyError(ReproError):
     """An execution policy was used incorrectly."""
+
+
+class ServiceError(ReproError):
+    """Base class for multi-tenant service-layer errors."""
+
+
+class AdmissionError(ServiceError):
+    """A request was refused admission (queue full or tenant over its
+    in-flight cap) and backpressure did not clear within the timeout."""
+
+
+class ServiceTimeoutError(ServiceError):
+    """Waiting for a submitted request's result exceeded the timeout."""
+
+
+class ServiceClosedError(ServiceError):
+    """The service runtime (or shared engine pool) has been closed."""
 
 
 class ChunkingError(ReproError):

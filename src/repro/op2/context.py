@@ -33,6 +33,7 @@ __all__ = [
     "ExecutionContext",
     "EXECUTION_MODES",
     "active_context",
+    "drain_active_context",
     "get_active_context",
     "register_backend",
     "available_backends",
@@ -195,6 +196,23 @@ def get_active_context() -> ExecutionContext:
 
     default = SerialContext()
     return default
+
+
+def drain_active_context() -> None:
+    """Complete the in-flight deferred work of the innermost active context.
+
+    No-op when no context is active (or the active one runs eagerly).  This
+    is the ordering point for mutations that deferred loops observe *live* --
+    most importantly :meth:`~repro.op2.map.OpMap.set_values`, whose new
+    connectivity must not be visible to loops submitted before it.
+    """
+    from repro.session import _active_sessions
+
+    for session in (*reversed(_active_sessions.stack), Session.default()):
+        context = session.active_context()
+        if context is not None:
+            context.finish()
+            return
 
 
 @contextlib.contextmanager

@@ -126,7 +126,16 @@ class OpMap:
     def set_values(self, values: Sequence[int] | np.ndarray) -> None:
         """Replace the connectivity (validated); bumps the version so cached
         execution plans and chunk summaries computed from the old
-        connectivity are recomputed."""
+        connectivity are recomputed.
+
+        Deferred engines gather through the *live* ``values`` array when a
+        chunk executes, so replacing it must be ordered after every loop
+        already submitted: the innermost active context (this thread) is
+        drained first, making mid-run renumbering safe under every engine.
+        """
+        from repro.op2.context import drain_active_context
+
+        drain_active_context()
         self.values = self._validated(values)
         self._chunk_summaries.clear()
         self.bump_version()

@@ -47,6 +47,9 @@ from repro.runtime.scheduler import (
 from repro.runtime.dataflow import dataflow, unwrapped
 from repro.runtime.policies import (
     ExecutionPolicy,
+    FifoQueue,
+    ReadyQueuePolicy,
+    WeightedRoundRobin,
     execution_policy_table,
     par,
     par_task,
@@ -100,6 +103,9 @@ __all__ = [
     "seq_task",
     "par_task",
     "execution_policy_table",
+    "ReadyQueuePolicy",
+    "FifoQueue",
+    "WeightedRoundRobin",
     "ChunkSizePolicy",
     "StaticChunkSize",
     "AutoChunkSize",

@@ -17,12 +17,26 @@ par(task)   parallel and asynchronous execution          HPX
 Policies are immutable; ``policy(task)``, ``policy.on(scheduler)`` and
 ``policy.with_(chunker)`` return modified copies, mirroring HPX's
 ``par(task)``, ``.on(executor)`` and ``.with(chunk_size)`` spellings.
+
+Ready-queue policies
+--------------------
+Orthogonal to the algorithm-level policies above, a *ready-queue policy*
+decides the order in which an executor's ready tasks are handed to workers.
+The default :class:`FifoQueue` reproduces the historical FIFO behaviour;
+:class:`WeightedRoundRobin` interleaves ready tasks *fairly across keys*
+(tenants, in the multi-tenant service layer) at chunk granularity -- the
+paper's chunked dataflow execution makes every loop preemptible between
+chunks, so cross-tenant fairness is exactly a ready-queue policy, not a
+rewrite.  Both plug into :class:`~repro.runtime.pool_executor.PoolExecutor`
+via its ``ready_policy`` parameter; they are plain data structures and rely
+on the executor's lock for thread safety.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Any, Optional
+from typing import TYPE_CHECKING, Any, Hashable, Mapping, Optional
 
 from repro.errors import PolicyError
 
@@ -39,7 +53,120 @@ __all__ = [
     "seq_task",
     "par_task",
     "execution_policy_table",
+    "ReadyQueuePolicy",
+    "FifoQueue",
+    "WeightedRoundRobin",
 ]
+
+
+# ---------------------------------------------------------------------------
+# Ready-queue policies (executor task ordering)
+# ---------------------------------------------------------------------------
+class ReadyQueuePolicy:
+    """Order in which an executor's *ready* tasks reach the workers.
+
+    The contract is deliberately small: ``push(item, key)`` enqueues a ready
+    item under a scheduling key (the submitting tenant; ``None`` for unkeyed
+    work), ``pop()`` returns the next item to run and raises ``IndexError``
+    when empty, and ``len()`` reports the number of queued items.  Instances
+    are *not* thread-safe -- the owning executor calls them under its lock.
+    """
+
+    def push(self, item: Any, key: Hashable = None) -> None:
+        raise NotImplementedError
+
+    def pop(self) -> Any:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+
+class FifoQueue(ReadyQueuePolicy):
+    """Strict submission-order FIFO, ignoring keys (the historical order)."""
+
+    def __init__(self) -> None:
+        self._items: deque[Any] = deque()
+
+    def push(self, item: Any, key: Hashable = None) -> None:
+        self._items.append(item)
+
+    def pop(self) -> Any:
+        return self._items.popleft()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class WeightedRoundRobin(ReadyQueuePolicy):
+    """Weighted round-robin over per-key FIFO queues.
+
+    Keys take turns in first-seen order; a key's turn serves up to ``weight``
+    consecutive items before yielding to the next key with queued work, so a
+    key with a long backlog (a tenant running a long loop chain) cannot starve
+    the others -- each gets its weighted share of worker dispatches per
+    rotation.  Empty keys are skipped without consuming a turn.
+
+    ``weights`` maps keys to positive integer shares and is read *live* on
+    every rotation: the mapping may be shared with (and mutated by) a service
+    runtime to retune tenant shares while the queue is in use.
+    """
+
+    def __init__(
+        self,
+        weights: Optional[Mapping[Hashable, int]] = None,
+        *,
+        default_weight: int = 1,
+    ) -> None:
+        if default_weight < 1:
+            raise PolicyError(
+                f"default_weight must be a positive integer, got {default_weight}"
+            )
+        self._weights = weights if weights is not None else {}
+        self._default_weight = default_weight
+        self._queues: dict[Hashable, deque[Any]] = {}
+        self._order: list[Hashable] = []
+        self._cursor = 0
+        self._served = 0
+
+    def weight(self, key: Hashable) -> int:
+        """The live weight of ``key`` (at least 1)."""
+        return max(1, int(self._weights.get(key, self._default_weight)))
+
+    def push(self, item: Any, key: Hashable = None) -> None:
+        queue = self._queues.get(key)
+        if queue is None:
+            queue = deque()
+            self._queues[key] = queue
+            self._order.append(key)
+        queue.append(item)
+
+    def pop(self) -> Any:
+        for _ in range(len(self._order)):
+            key = self._order[self._cursor]
+            queue = self._queues[key]
+            if queue:
+                item = queue.popleft()
+                self._served += 1
+                if self._served >= self.weight(key) or not queue:
+                    self._advance()
+                return item
+            self._advance()
+        raise IndexError("pop from an empty ready queue")
+
+    def _advance(self) -> None:
+        self._cursor = (self._cursor + 1) % len(self._order)
+        self._served = 0
+
+    def __len__(self) -> int:
+        return sum(len(queue) for queue in self._queues.values())
+
+    def queued_by_key(self) -> dict[Hashable, int]:
+        """Currently queued item counts per key (diagnostics)."""
+        return {key: len(queue) for key, queue in self._queues.items() if queue}
 
 
 class _TaskMarker:

@@ -4,8 +4,11 @@ The simulator (:mod:`repro.sim.scheduler_sim`) models how the paper's
 futurized ``op_par_loop`` chunks would overlap; :class:`PoolExecutor` actually
 runs them.  Tasks are plain callables submitted together with the ids of the
 tasks they must wait for; a task becomes *ready* once every dependency has
-completed, and ready tasks are executed by a pool of OS worker threads in
-FIFO order.  This is the execution substrate behind
+completed, and ready tasks are executed by a pool of OS worker threads -- in
+FIFO order by default, or in whatever order the installed
+:class:`~repro.runtime.policies.ReadyQueuePolicy` decides (the multi-tenant
+service layer installs a weighted round-robin queue so tenants interleave at
+chunk granularity).  This is the execution substrate behind
 ``hpx_context(execution="threads")`` and the OpenMP backend's pooled
 fork/join-per-colour mode.
 
@@ -15,17 +18,22 @@ Design notes
   dependencies; completing a task decrements its dependents and enqueues any
   that reach zero.  Workers block on a condition variable while no task is
   ready.  Completed tasks are evicted (only their id is remembered until the
-  next drained :meth:`wait_all` barrier, where the remembered ids collapse
-  into a completed-id watermark), so the pool's live state is bounded by the
+  next drained barrier, where the remembered ids collapse into a
+  completed-id watermark), so the pool's live state is bounded by the
   unfinished frontier even when the pool is reused across many barriers.
 * **Tasks never block inside the pool.**  The loop runners express ordering
   (including the deterministic chunk-order merge chains) purely as
   dependency edges, so a worker that picks up a task can always run it to
   completion -- no turnstiles, no risk of deadlock with a single worker.
-* **Fail fast.**  The first exception poisons the pool: queued and future
-  tasks are skipped (their ``on_skip`` hooks fire and their dependents still
-  release, so :meth:`wait_all` drains) and the exception re-raises from
-  :meth:`wait_all` / :meth:`shutdown`.
+* **Task groups.**  ``submit(..., group=...)`` tags a task with an opaque
+  group object (the service layer's engine leases).  Groups scope both
+  synchronisation and failure: :meth:`wait_group` drains one group's tasks
+  without waiting for concurrent tenants, and the first exception in a group
+  poisons *that group only* -- its queued tasks are skipped (``on_skip``
+  fires, dependents release) and the exception re-raises from the group's
+  next drain.  Ungrouped tasks (``group=None``) keep the historical
+  pool-wide semantics: any ungrouped failure (or :meth:`cancel_pending`)
+  poisons the whole pool and re-raises from :meth:`wait_all`.
 * **Tracing.**  When ``trace=True`` the pool records ``("start", id)`` /
   ``("done", id)`` events under the pool lock; tests use the trace to assert
   that no chunk ever started before its producers finished.
@@ -34,11 +42,11 @@ Design notes
 from __future__ import annotations
 
 import threading
-from collections import deque
-from typing import Callable, Iterable, Optional
+from typing import Any, Callable, Iterable, Optional
 
 from repro.engines.base import EngineCapabilities
 from repro.errors import CancelledError, RuntimeStateError, SchedulerError
+from repro.runtime.policies import FifoQueue, ReadyQueuePolicy
 
 __all__ = ["PoolExecutor"]
 
@@ -46,15 +54,36 @@ __all__ = ["PoolExecutor"]
 class _TaskNode:
     """Book-keeping for one submitted, not-yet-finished task."""
 
-    __slots__ = ("fn", "on_skip", "remaining", "dependents")
+    __slots__ = ("fn", "on_skip", "remaining", "dependents", "group")
 
     def __init__(
-        self, fn: Callable[[], None], on_skip: Optional[Callable[[], None]]
+        self,
+        fn: Callable[[], None],
+        on_skip: Optional[Callable[[], None]],
+        group: Optional[Any],
     ) -> None:
         self.fn = fn
         self.on_skip = on_skip
         self.remaining = 0
         self.dependents: list[int] = []
+        self.group = group
+
+
+class _GroupState:
+    """Per-group pending count and failure latch."""
+
+    __slots__ = ("pending", "failure", "delivered")
+
+    def __init__(self) -> None:
+        self.pending = 0
+        self.failure: Optional[BaseException] = None
+        #: True once the latched failure was re-raised from a timed-out wait
+        self.delivered = False
+
+
+def _group_key(group: Optional[Any]) -> Any:
+    """The ready-queue scheduling key of a group (its tenant, when tagged)."""
+    return getattr(group, "tenant", None)
 
 
 class PoolExecutor:
@@ -69,13 +98,24 @@ class PoolExecutor:
     trace:
         Record ``("start", task_id)`` / ``("done", task_id)`` events in
         :attr:`trace_events` (used by tests and the DAG-enforcement checks).
+    ready_policy:
+        A :class:`~repro.runtime.policies.ReadyQueuePolicy` deciding the
+        order ready tasks reach the workers; defaults to FIFO.  The policy is
+        only touched under the pool lock, so it need not be thread-safe.
     """
 
     #: engine-seam capability record: one interpreter, OS threads -- shared
     #: address space, closures welcome, asynchronous (strict-order) commits
     capabilities = EngineCapabilities()
 
-    def __init__(self, num_workers: int, *, name: str = "chunk-pool", trace: bool = False) -> None:
+    def __init__(
+        self,
+        num_workers: int,
+        *,
+        name: str = "chunk-pool",
+        trace: bool = False,
+        ready_policy: Optional[ReadyQueuePolicy] = None,
+    ) -> None:
         if num_workers <= 0:
             raise SchedulerError(f"num_workers must be positive, got {num_workers}")
         self._num_workers = num_workers
@@ -86,11 +126,17 @@ class PoolExecutor:
         #: _done_watermark also counts as done (see wait_all's compaction)
         self._done: set[int] = set()
         self._done_watermark = 0
-        self._ready: deque[int] = deque()
+        self._ready: ReadyQueuePolicy = ready_policy if ready_policy is not None else FifoQueue()
         self._pending = 0
+        #: per-group state, keyed by the group object (id-hashable); the
+        #: ``None`` key carries the ungrouped (historical) tasks
+        self._groups: dict[Any, _GroupState] = {}
+        #: first failure of an *ungrouped* task, re-raised from wait_all
         self._failure: Optional[BaseException] = None
         #: True once the latched failure was re-raised from a timed-out wait
         self._failure_delivered = False
+        #: pool-wide poison set by cancel_pending(): skips tasks of every group
+        self._cancelled: Optional[BaseException] = None
         self._shutdown = False
         self.trace_events: Optional[list[tuple[str, int]]] = [] if trace else None
         self._workers = [
@@ -112,12 +158,20 @@ class PoolExecutor:
         with self._cond:
             return self._shutdown
 
+    def _group_state(self, group: Optional[Any]) -> _GroupState:
+        state = self._groups.get(group)
+        if state is None:
+            state = _GroupState()
+            self._groups[group] = state
+        return state
+
     def submit(
         self,
         fn: Callable[[], None],
         *,
         deps: Iterable[int] = (),
         on_skip: Optional[Callable[[], None]] = None,
+        group: Optional[Any] = None,
     ) -> int:
         """Submit ``fn`` gated on ``deps``; returns the new task's id.
 
@@ -125,8 +179,11 @@ class PoolExecutor:
         completed dependencies are satisfied immediately.  Unknown ids raise
         :class:`~repro.errors.SchedulerError` (a forward or foreign edge would
         silently never release the task).  ``on_skip`` runs instead of ``fn``
-        when the pool is poisoned or cancelled before the task executes --
-        producers use it to break the promises consumers may be blocked on.
+        when the task's group (or the whole pool) is poisoned or cancelled
+        before the task executes -- producers use it to break the promises
+        consumers may be blocked on.  ``group`` scopes synchronisation and
+        failure (see the class docstring); a group object with a ``tenant``
+        attribute also keys the ready-queue policy.
         """
         with self._cond:
             if self._shutdown:
@@ -145,14 +202,15 @@ class PoolExecutor:
                 dep_nodes.append(dep_node)
             task_id = self._next_id
             self._next_id += 1
-            node = _TaskNode(fn, on_skip)
+            node = _TaskNode(fn, on_skip, group)
             node.remaining = len(dep_nodes)
             for dep_node in dep_nodes:
                 dep_node.dependents.append(task_id)
             self._tasks[task_id] = node
             self._pending += 1
+            self._group_state(group).pending += 1
             if node.remaining == 0:
-                self._ready.append(task_id)
+                self._ready.push(task_id, _group_key(group))
                 self._cond.notify()
             return task_id
 
@@ -162,6 +220,7 @@ class PoolExecutor:
         *,
         deps: Iterable[int] = (),
         after: Optional[int] = None,
+        group: Optional[Any] = None,
     ) -> tuple[int, int]:
         """Submit one loop chunk as a compute task plus a chained merge task.
 
@@ -183,16 +242,32 @@ class PoolExecutor:
             if commit is not None:
                 commit()
 
-        compute_id = self.submit(compute, deps=deps)
+        compute_id = self.submit(compute, deps=deps, group=group)
         merge_deps = [compute_id] if after is None else [compute_id, after]
-        merge_id = self.submit(merge, deps=merge_deps)
+        merge_id = self.submit(merge, deps=merge_deps, group=group)
         return compute_id, merge_id
+
+    def set_ready_policy(self, policy: ReadyQueuePolicy) -> None:
+        """Install ``policy`` as the ready queue, migrating queued tasks.
+
+        Already-queued ready tasks are re-pushed into the new policy in their
+        current dispatch order (re-keyed from their groups), so the swap is
+        safe while the pool is busy.
+        """
+        with self._cond:
+            old = self._ready
+            while old:
+                task_id = old.pop()
+                node = self._tasks.get(task_id)
+                policy.push(task_id, _group_key(node.group if node else None))
+            self._ready = policy
 
     # -- synchronisation --------------------------------------------------------------
     def wait_all(self, timeout: Optional[float] = None) -> None:
-        """Block until every submitted task has completed.
+        """Block until every submitted task (all groups) has completed.
 
-        Re-raises the first exception raised by any task.  More tasks may be
+        Re-raises the first exception raised by any ungrouped task (grouped
+        failures are scoped to :meth:`wait_group`).  More tasks may be
         submitted afterwards (the pool is reusable between barriers).  A
         drained barrier also compacts the completed-id set into a watermark:
         every id issued so far has completed, so remembering the ids
@@ -217,23 +292,73 @@ class PoolExecutor:
                 )
             failure, self._failure = self._failure, None
             delivered, self._failure_delivered = self._failure_delivered, False
-            # Drained: every id below _next_id has completed (failed and
-            # skipped tasks included -- they entered _done too), so deps on
-            # them stay satisfied through the watermark alone.
-            self._done.clear()
-            self._done_watermark = self._next_id
+            self._compact_drained()
         if failure is not None and not delivered:
             raise failure
 
-    def cancel_pending(self) -> None:
-        """Poison the pool: not-yet-started tasks are skipped (``on_skip`` fires).
+    def wait_group(self, group: Optional[Any], timeout: Optional[float] = None) -> None:
+        """Block until every task of ``group`` has completed.
 
-        In-flight tasks finish; used when abandoning a run mid-way (e.g. the
-        application raised inside the execution context).
+        Concurrent groups keep running: this is the barrier an engine lease
+        drains on, so one tenant's ``finish()`` never waits for another
+        tenant's chunks.  Re-raises the group's first failure (and clears it
+        -- the group is reusable afterwards, like :meth:`wait_all`).
         """
         with self._cond:
+            state = self._groups.get(group)
+            if state is None:
+                return  # nothing was ever submitted under this group
+            if not self._cond.wait_for(lambda: state.pending == 0, timeout=timeout):
+                failure = state.failure
+                if failure is not None and not state.delivered:
+                    state.delivered = True
+                    raise failure
+                raise RuntimeStateError(
+                    f"pool executor still has {state.pending} pending tasks of "
+                    f"group {group!r} after {timeout}s"
+                )
+            failure, state.failure = state.failure, None
+            delivered, state.delivered = state.delivered, False
+            if self._pending == 0:
+                self._compact_drained()
+        if failure is not None and not delivered:
+            raise failure
+
+    def _compact_drained(self) -> None:
+        """Collapse completed ids into the watermark (pool fully drained).
+
+        Caller holds the lock.  Failed and skipped tasks entered ``_done``
+        too, so deps on them stay satisfied through the watermark alone.
+        Group states are reset: everything drained, so undelivered group
+        failures die with the barrier, exactly like the pool-level latch.
+        """
+        self._done.clear()
+        self._done_watermark = self._next_id
+        self._groups.clear()
+        self._cancelled = None
+
+    def cancel_pending(self) -> None:
+        """Poison the whole pool: not-yet-started tasks of *every* group are
+        skipped (``on_skip`` fires).
+
+        In-flight tasks finish; used when abandoning a run mid-way (e.g. the
+        application raised inside the execution context).  To poison a single
+        tenant's tasks use :meth:`cancel_group`.
+        """
+        with self._cond:
+            if self._cancelled is None:
+                self._cancelled = CancelledError("pool executor cancelled")
             if self._failure is None:
-                self._failure = CancelledError("pool executor cancelled")
+                self._failure = self._cancelled
+
+    def cancel_group(self, group: Optional[Any]) -> None:
+        """Poison ``group`` only: its unstarted tasks are skipped, other
+        groups keep running.  The cancellation re-raises from
+        :meth:`wait_group`."""
+        with self._cond:
+            state = self._group_state(group)
+            if state.failure is None:
+                state.failure = CancelledError("task group cancelled")
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop the pool; with ``wait=True`` drain outstanding work first,
@@ -264,9 +389,14 @@ class PoolExecutor:
                     self._cond.wait()
                 if not self._ready:
                     return  # shutdown with no work left
-                task_id = self._ready.popleft()
+                task_id = self._ready.pop()
                 node = self._tasks[task_id]
-                poisoned = self._failure is not None
+                group_state = self._group_state(node.group)
+                poisoned = (
+                    self._cancelled is not None
+                    or group_state.failure is not None
+                    or (node.group is None and self._failure is not None)
+                )
                 if self.trace_events is not None:
                     self.trace_events.append(("start", task_id))
             try:
@@ -275,19 +405,25 @@ class PoolExecutor:
                         node.on_skip()
                 else:
                     node.fn()
-            except BaseException as exc:  # noqa: BLE001 - routed to wait_all
+            except BaseException as exc:  # noqa: BLE001 - routed to the drains
                 with self._cond:
-                    if self._failure is None:
+                    state = self._group_state(node.group)
+                    if state.failure is None:
+                        state.failure = exc
+                    # Ungrouped failures poison the pool (the historical
+                    # contract); grouped failures stay scoped to wait_group.
+                    if node.group is None and self._failure is None:
                         self._failure = exc
             with self._cond:
                 del self._tasks[task_id]  # release the closure and staged buffers
                 self._done.add(task_id)
                 self._pending -= 1
+                self._group_state(node.group).pending -= 1
                 if self.trace_events is not None:
                     self.trace_events.append(("done", task_id))
                 for dependent_id in node.dependents:
                     child = self._tasks[dependent_id]
                     child.remaining -= 1
                     if child.remaining == 0:
-                        self._ready.append(dependent_id)
+                        self._ready.push(dependent_id, _group_key(child.group))
                 self._cond.notify_all()

@@ -1,0 +1,122 @@
+"""Admission control for the service layer: bounded queues, per-tenant caps.
+
+A serving front-end over a shared pool needs *backpressure*: without it, a
+tenant (or a burst) can queue unbounded work, and every other tenant's
+latency grows with the backlog.  :class:`AdmissionController` enforces two
+limits at submission time:
+
+* a **bounded total queue depth** -- requests admitted but not yet running;
+* a **per-tenant in-flight cap** -- requests admitted (queued *or* running)
+  per tenant, so one tenant cannot occupy the whole queue.
+
+``admit`` blocks up to a timeout for capacity to clear and raises the typed
+:class:`~repro.errors.AdmissionError` when it does not -- callers see
+backpressure as an error they can retry, not as silent unbounded queuing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Hashable, Optional
+
+from repro.errors import AdmissionError, ServiceError
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Track queued/in-flight request counts and gate admission on them.
+
+    The life cycle of one request is ``admit`` (counted as queued and
+    in-flight) -> ``start`` (leaves the queue, stays in-flight) ->
+    ``finish`` (leaves in-flight); ``cancel`` undoes an ``admit`` for
+    requests failed before they started (runtime shutdown).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_queue_depth: int = 64,
+        max_inflight_per_tenant: int = 8,
+    ) -> None:
+        if max_queue_depth < 1:
+            raise ServiceError(f"max_queue_depth must be positive, got {max_queue_depth}")
+        if max_inflight_per_tenant < 1:
+            raise ServiceError(
+                f"max_inflight_per_tenant must be positive, got {max_inflight_per_tenant}"
+            )
+        self.max_queue_depth = max_queue_depth
+        self.max_inflight_per_tenant = max_inflight_per_tenant
+        self._cond = threading.Condition()
+        self._queued = 0
+        self._inflight: dict[Hashable, int] = {}
+
+    def admit(self, tenant: Hashable, *, timeout: Optional[float] = 0.0) -> None:
+        """Admit one request of ``tenant``, blocking up to ``timeout`` seconds.
+
+        ``timeout=0`` fails immediately when over a limit; ``timeout=None``
+        waits indefinitely.  Raises :class:`~repro.errors.AdmissionError`
+        naming the limit that held when the timeout expired.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                queue_full = self._queued >= self.max_queue_depth
+                tenant_capped = (
+                    self._inflight.get(tenant, 0) >= self.max_inflight_per_tenant
+                )
+                if not queue_full and not tenant_capped:
+                    self._queued += 1
+                    self._inflight[tenant] = self._inflight.get(tenant, 0) + 1
+                    return
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    limit = (
+                        f"service queue is full ({self.max_queue_depth} queued)"
+                        if queue_full
+                        else f"tenant {tenant!r} is at its in-flight cap "
+                        f"({self.max_inflight_per_tenant})"
+                    )
+                    raise AdmissionError(
+                        f"request refused admission: {limit}; backpressure did not "
+                        f"clear within {timeout}s"
+                    )
+                self._cond.wait(remaining)
+
+    def start(self, tenant: Hashable) -> None:
+        """A dispatcher picked the request up: it leaves the bounded queue."""
+        with self._cond:
+            self._queued -= 1
+            self._cond.notify_all()
+
+    def finish(self, tenant: Hashable) -> None:
+        """The request completed (or failed): it leaves the in-flight count."""
+        with self._cond:
+            count = self._inflight.get(tenant, 0) - 1
+            if count > 0:
+                self._inflight[tenant] = count
+            else:
+                self._inflight.pop(tenant, None)
+            self._cond.notify_all()
+
+    def cancel(self, tenant: Hashable) -> None:
+        """Undo an ``admit`` for a request that will never start."""
+        with self._cond:
+            self._queued -= 1
+            count = self._inflight.get(tenant, 0) - 1
+            if count > 0:
+                self._inflight[tenant] = count
+            else:
+                self._inflight.pop(tenant, None)
+            self._cond.notify_all()
+
+    def snapshot(self) -> dict[str, Any]:
+        """Current queued total and per-tenant in-flight counts."""
+        with self._cond:
+            return {
+                "queued": self._queued,
+                "inflight": dict(self._inflight),
+                "max_queue_depth": self.max_queue_depth,
+                "max_inflight_per_tenant": self.max_inflight_per_tenant,
+            }

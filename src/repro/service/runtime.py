@@ -1,0 +1,366 @@
+"""The multi-tenant serving front-end: asyncio/sync submission over one pool.
+
+:class:`ServiceRuntime` is the top of the service stack::
+
+    submit / submit_sync            (asyncio + thread-safe entry points)
+        -> AdmissionController      (bounded queue, per-tenant caps)
+        -> weighted-round-robin request queue, drained by dispatchers
+        -> per-tenant Session       (kernel namespace, plan cache)
+        -> SharedEnginePool         (one warm engine per config, all tenants)
+        -> fair chunk interleaving  (WRR ready queue in the engine)
+
+A *request* is a callable running a loop chain; the runtime executes it
+inside an ``hpx_context`` bound to the tenant's session, whose engines are
+leases on the shared pool.  Fairness therefore exists at two levels: the
+request queue interleaves *whole requests* across tenants, and the shared
+engine's ready queue interleaves *chunks* of concurrently running requests
+-- the paper's chunked dataflow execution is what makes the second level
+possible, every loop being preemptible between chunks.
+
+Requests of one tenant execute serially, in admission order (a per-tenant
+run lock): chains of one tenant typically share dats, and serial execution
+keeps their results deterministic without asking callers to synchronise.
+Distinct tenants run genuinely concurrently, up to ``dispatchers`` threads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import functools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Optional
+
+from repro.engines.base import RunConfig
+from repro.errors import ServiceClosedError, ServiceError, ServiceTimeoutError
+from repro.runtime.policies import WeightedRoundRobin
+from repro.service.admission import AdmissionController
+from repro.service.pool import SharedEnginePool
+from repro.session import Session
+
+__all__ = ["ServiceConfig", "ServiceRuntime"]
+
+#: sentinel distinguishing "not passed" from an explicit ``None`` timeout
+_UNSET: Any = object()
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs of a :class:`ServiceRuntime`.
+
+    ``engine``/``num_threads``/``prefer_vectorized`` form the default
+    :class:`~repro.engines.base.RunConfig` of requests (overridable per
+    request); the rest size the front-end: ``dispatchers`` concurrent request
+    executors, a queue bounded at ``max_queue_depth``, at most
+    ``max_inflight_per_tenant`` admitted requests per tenant, and
+    ``admission_timeout`` seconds of blocking before backpressure surfaces
+    as :class:`~repro.errors.AdmissionError` (``None`` = wait forever).
+    ``tenant_weights`` seeds the live weighted-round-robin shares.
+    """
+
+    engine: str = "threads"
+    num_threads: int = 4
+    prefer_vectorized: bool = True
+    dispatchers: int = 2
+    max_queue_depth: int = 64
+    max_inflight_per_tenant: int = 8
+    admission_timeout: Optional[float] = 0.0
+    default_weight: int = 1
+    tenant_weights: dict[Hashable, int] = field(default_factory=dict)
+
+
+class _Request:
+    __slots__ = ("tenant", "fn", "run_config", "future")
+
+    def __init__(
+        self,
+        tenant: Hashable,
+        fn: Callable[[], Any],
+        run_config: RunConfig,
+        future: "concurrent.futures.Future[Any]",
+    ) -> None:
+        self.tenant = tenant
+        self.fn = fn
+        self.run_config = run_config
+        self.future = future
+
+
+class ServiceRuntime:
+    """Serve loop-chain requests from many tenants over one shared warm pool.
+
+    Parameters
+    ----------
+    config:
+        A :class:`ServiceConfig`; defaults apply when omitted.
+    pool:
+        An existing :class:`~repro.service.SharedEnginePool` to serve from;
+        by default the runtime creates (and owns, i.e. closes) its own.
+
+    Usage::
+
+        with ServiceRuntime(ServiceConfig(num_threads=4)) as runtime:
+            result = runtime.submit_sync("alice", lambda: run_jacobi(problem))
+            # or, from a coroutine:
+            result = await runtime.submit("bob", lambda: run_airfoil(mesh))
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        *,
+        pool: Optional[SharedEnginePool] = None,
+    ) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        if pool is not None:
+            self._pool = pool
+            self._owns_pool = False
+            self._pool.tenant_weights.update(self.config.tenant_weights)
+        else:
+            self._pool = SharedEnginePool(
+                tenant_weights=dict(self.config.tenant_weights),
+                default_weight=self.config.default_weight,
+            )
+            self._owns_pool = True
+        self._admission = AdmissionController(
+            max_queue_depth=self.config.max_queue_depth,
+            max_inflight_per_tenant=self.config.max_inflight_per_tenant,
+        )
+        self._queue_cond = threading.Condition()
+        #: request-level fairness, sharing the live weights dict with every
+        #: engine's chunk-level ready queue
+        self._queue = WeightedRoundRobin(
+            self._pool.tenant_weights, default_weight=self.config.default_weight
+        )
+        self._sessions: dict[Hashable, Session] = {}
+        self._tenant_locks: dict[Hashable, threading.Lock] = {}
+        self._state_lock = threading.Lock()
+        self._closed = False
+        self._dispatchers = [
+            threading.Thread(
+                target=self._dispatch_loop, name=f"service-dispatch-{i}", daemon=True
+            )
+            for i in range(max(1, self.config.dispatchers))
+        ]
+        for thread in self._dispatchers:
+            thread.start()
+
+    # -- submission -----------------------------------------------------------------
+    @property
+    def pool(self) -> SharedEnginePool:
+        """The shared engine pool requests execute on."""
+        return self._pool
+
+    def _default_run_config(self) -> RunConfig:
+        return RunConfig(
+            engine=self.config.engine,
+            num_threads=self.config.num_threads,
+            prefer_vectorized=self.config.prefer_vectorized,
+        )
+
+    def dispatch(
+        self,
+        tenant: Hashable,
+        fn: Callable[[], Any],
+        *,
+        config: Optional[RunConfig] = None,
+        admission_timeout: Any = _UNSET,
+    ) -> "concurrent.futures.Future[Any]":
+        """Admit and enqueue one request; returns its result future.
+
+        Blocks only inside admission control (up to the admission timeout);
+        the returned :class:`concurrent.futures.Future` resolves with the
+        callable's return value once a dispatcher ran the chain to its drain,
+        or with the chain's exception.  Thread-safe.
+        """
+        if not callable(fn):
+            raise ServiceError(f"request of tenant {tenant!r} is not callable: {fn!r}")
+        if self._closed:
+            raise ServiceClosedError("service runtime has been closed")
+        timeout = (
+            self.config.admission_timeout if admission_timeout is _UNSET else admission_timeout
+        )
+        self._admission.admit(tenant, timeout=timeout)
+        future: "concurrent.futures.Future[Any]" = concurrent.futures.Future()
+        request = _Request(
+            tenant, fn, config if config is not None else self._default_run_config(), future
+        )
+        with self._queue_cond:
+            if self._closed:
+                self._admission.cancel(tenant)
+                raise ServiceClosedError("service runtime has been closed")
+            self._queue.push(request, tenant)
+            self._queue_cond.notify()
+        return future
+
+    def submit_sync(
+        self,
+        tenant: Hashable,
+        fn: Callable[[], Any],
+        *,
+        config: Optional[RunConfig] = None,
+        timeout: Optional[float] = None,
+        admission_timeout: Any = _UNSET,
+    ) -> Any:
+        """Run one request to completion from any thread; returns its result.
+
+        ``timeout`` bounds the wait for the *result* (admission waits are
+        bounded separately) and surfaces as
+        :class:`~repro.errors.ServiceTimeoutError`; the request itself keeps
+        running and the timed-out caller may not observe its effects.
+        """
+        future = self.dispatch(tenant, fn, config=config, admission_timeout=admission_timeout)
+        try:
+            return future.result(timeout)
+        except concurrent.futures.TimeoutError:
+            raise ServiceTimeoutError(
+                f"request of tenant {tenant!r} did not complete within {timeout}s"
+            ) from None
+
+    async def submit(
+        self,
+        tenant: Hashable,
+        fn: Callable[[], Any],
+        *,
+        config: Optional[RunConfig] = None,
+        admission_timeout: Any = _UNSET,
+    ) -> Any:
+        """Awaitable twin of :meth:`submit_sync` for asyncio front-ends.
+
+        Admission (which may block on backpressure) runs on the event loop's
+        default thread-pool executor, so the coroutine never blocks the loop;
+        the result future is then awaited directly.
+        """
+        loop = asyncio.get_running_loop()
+        enqueue = functools.partial(
+            self.dispatch, tenant, fn, config=config, admission_timeout=admission_timeout
+        )
+        future = await loop.run_in_executor(None, enqueue)
+        return await asyncio.wrap_future(future)
+
+    # -- tenant state ---------------------------------------------------------------
+    def set_tenant_weight(self, tenant: Hashable, weight: int) -> None:
+        """Retune ``tenant``'s fair share, effective immediately (live dict)."""
+        if weight < 1:
+            raise ServiceError(f"tenant weight must be positive, got {weight}")
+        self._pool.tenant_weights[tenant] = int(weight)
+
+    def tenant_session(self, tenant: Hashable) -> Session:
+        """The tenant's session (created on first use, leasing from the pool)."""
+        with self._state_lock:
+            if self._closed:
+                raise ServiceClosedError("service runtime has been closed")
+            session = self._sessions.get(tenant)
+            if session is None or session.closed:
+                session = Session(name=str(tenant), engine_pool=self._pool)
+                self._sessions[tenant] = session
+            return session
+
+    def _tenant_lock(self, tenant: Hashable) -> threading.Lock:
+        with self._state_lock:
+            lock = self._tenant_locks.get(tenant)
+            if lock is None:
+                lock = threading.Lock()
+                self._tenant_locks[tenant] = lock
+            return lock
+
+    def stats(self) -> dict[str, Any]:
+        """JSON-friendly snapshot: admission, queue, pool and tenant stats."""
+        with self._state_lock:
+            sessions = dict(self._sessions)
+        with self._queue_cond:
+            queued = self._queue.queued_by_key()
+        return {
+            "closed": self._closed,
+            "admission": self._admission.snapshot(),
+            "queued_by_tenant": {str(key): count for key, count in queued.items()},
+            "pool": self._pool.stats(),
+            "tenants": {str(key): session.stats() for key, session in sessions.items()},
+        }
+
+    # -- dispatcher loop --------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._queue_cond:
+                while not self._queue and not self._closed:
+                    self._queue_cond.wait()
+                if not self._queue:
+                    return  # closed and drained
+                request = self._queue.pop()
+            self._admission.start(request.tenant)
+            try:
+                result = self._run_request(request)
+            except BaseException as exc:  # noqa: BLE001 - routed to the future
+                request.future.set_exception(exc)
+            else:
+                request.future.set_result(result)
+            finally:
+                self._admission.finish(request.tenant)
+
+    def _run_request(self, request: _Request) -> Any:
+        from repro.core.executor import hpx_context
+
+        session = self.tenant_session(request.tenant)
+        with self._tenant_lock(request.tenant):
+            # Entering the context activates the tenant session (kernels and
+            # plans resolve against it) and leases its engines from the
+            # shared pool; exiting drains the tenant's task group.
+            with hpx_context(config=request.run_config, session=session):
+                return request.fn()
+
+    # -- lifecycle -------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self, *, drain: bool = True) -> None:
+        """Stop the runtime; idempotent, callable from any thread.
+
+        With ``drain=True`` queued requests still execute before the
+        dispatchers exit; with ``drain=False`` they fail with
+        :class:`~repro.errors.ServiceClosedError` immediately.  Tenant
+        sessions are closed (releasing their leases) and -- when the runtime
+        owns it -- the shared pool is shut down last.
+        """
+        with self._queue_cond:
+            already = self._closed
+            self._closed = True
+            abandoned: list[_Request] = []
+            if not drain:
+                while self._queue:
+                    abandoned.append(self._queue.pop())
+            self._queue_cond.notify_all()
+        for request in abandoned:
+            self._admission.cancel(request.tenant)
+            request.future.set_exception(
+                ServiceClosedError("service runtime closed before the request ran")
+            )
+        for thread in self._dispatchers:
+            if thread is not threading.current_thread():
+                thread.join()
+        if already:
+            return
+        with self._state_lock:
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+        first_failure: Optional[BaseException] = None
+        for session in sessions:
+            try:
+                session.close()
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                if first_failure is None:
+                    first_failure = exc
+        if self._owns_pool:
+            try:
+                self._pool.close()
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                if first_failure is None:
+                    first_failure = exc
+        if first_failure is not None:
+            raise first_failure
+
+    def __enter__(self) -> "ServiceRuntime":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

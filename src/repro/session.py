@@ -83,13 +83,17 @@ class PlanCache:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._entries: dict[tuple, tuple[tuple, "ExecutionPlan"]] = {}
+        self._hits = 0
+        self._misses = 0
 
     def lookup(self, identity: tuple, versions: tuple) -> Optional["ExecutionPlan"]:
         """The cached plan for ``identity`` at exactly ``versions``, else None."""
         with self._lock:
             entry = self._entries.get(identity)
             if entry is not None and entry[0] == versions:
+                self._hits += 1
                 return entry[1]
+            self._misses += 1
             return None
 
     def store(self, identity: tuple, versions: tuple, plan: "ExecutionPlan") -> None:
@@ -97,8 +101,17 @@ class PlanCache:
         with self._lock:
             self._entries[identity] = (versions, plan)
 
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/size counters (``hits``/``misses``/``entries``).
+
+        A version-mismatched entry counts as a miss: the caller rebuilds the
+        plan exactly as if nothing were cached.
+        """
+        with self._lock:
+            return {"hits": self._hits, "misses": self._misses, "entries": len(self._entries)}
+
     def clear(self) -> None:
-        """Drop every cached plan."""
+        """Drop every cached plan (counters survive for diagnostics)."""
         with self._lock:
             self._entries.clear()
 
@@ -178,18 +191,35 @@ class Session:
     name:
         Diagnostic name (also the prefix of shared-memory segment names of
         arenas the session's engines create); generated when omitted.
+    engine_pool:
+        A :class:`~repro.service.SharedEnginePool` to *lease* engines from
+        instead of building private ones.  With a pool, :meth:`engine`
+        returns an :class:`~repro.service.EngineLease` (a group-scoped view
+        of a shared engine, keyed by this session's name as the tenant) and
+        :meth:`close` releases the leases back to the pool -- the underlying
+        engines stay warm for other tenants.  The pool itself is owned by
+        whoever created it (typically a
+        :class:`~repro.service.ServiceRuntime`).
     """
 
-    def __init__(self, name: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        name: Optional[str] = None,
+        *,
+        engine_pool: Optional[Any] = None,
+    ) -> None:
         self.name = name if name is not None else f"session-{next(_session_counter)}"
         self._lock = threading.RLock()
         self._kernels: dict[str, "Kernel"] = {}
         self.plan_cache = PlanCache()
         self.artifact_cache = KernelArtifactCache()
+        self._engine_pool = engine_pool
         self._engines: dict[tuple, "ExecutionEngine"] = {}
         self._arenas: list["SharedMemoryArena"] = []
         self._contexts = _ContextStack()
         self._closed = False
+        self._close_done = threading.Event()
+        self._closing_thread: Optional[int] = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "closed" if self._closed else f"{len(self._engines)} engine(s)"
@@ -384,6 +414,11 @@ class Session:
         requests return the same live object, so consecutive loop chains skip
         thread/process spin-up.  Engines stay up until :meth:`close` -- loop
         chains must *drain* (``wait_all``) between runs, never ``shutdown``.
+
+        With a shared ``engine_pool`` the entry is an
+        :class:`~repro.service.EngineLease` instead: the underlying engine is
+        shared with other tenant sessions (draining and failure stay scoped
+        to this session's lease) and outlives :meth:`close`.
         """
         from repro.engines.registry import make_engine
 
@@ -392,6 +427,13 @@ class Session:
             self._check_open()
             engine = self._engines.get(key)
             if engine is not None and not engine.is_shutdown:
+                return engine
+            if self._engine_pool is not None:
+                # Lease from the shared pool: the pool owns the engine (and
+                # its arena); the lease is what close() "shuts down", which
+                # merely releases it back to the pool.
+                engine = self._engine_pool.lease(config, tenant=self.name)
+                self._engines[key] = engine
                 return engine
             engine = make_engine(config)
             self._engines[key] = engine
@@ -408,6 +450,32 @@ class Session:
         with self._lock:
             return [e for e in self._engines.values() if not e.is_shutdown]
 
+    # -- diagnostics -----------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """A JSON-friendly snapshot of the session's runtime state.
+
+        Reports the plan-cache and kernel-artifact-cache hit/miss/size
+        counters, the pool keys of live engines (``[engine, num_threads,
+        prefer_vectorized]`` triples) and the number of tracked shared-memory
+        arenas -- what the service runtime surfaces per tenant, and what
+        :meth:`~repro.core.pipeline.LoopPipeline.build_report` embeds under
+        ``details["session"]``.
+        """
+        with self._lock:
+            engine_keys = sorted(
+                key for key, engine in self._engines.items() if not engine.is_shutdown
+            )
+            arena_count = len(self._arenas)
+            closed = self._closed
+        return {
+            "name": self.name,
+            "closed": closed,
+            "plan_cache": self.plan_cache.stats(),
+            "artifact_cache": self.artifact_cache.stats(),
+            "engines": [list(key) for key in engine_keys],
+            "arenas": arena_count,
+        }
+
     # -- lifecycle -----------------------------------------------------------------
     @property
     def closed(self) -> bool:
@@ -423,30 +491,46 @@ class Session:
 
         Draining shutdowns run first (``shutdown(wait=True)``), so in-flight
         chunks complete and shared-memory dats are copied back to private
-        arrays before their segments are unlinked.  Idempotent; the first
-        engine failure is re-raised after *all* engines and arenas have been
-        torn down.
+        arrays before their segments are unlinked.  Leased engines are
+        *released* to their shared pool instead of shut down (their
+        ``shutdown`` is the release).  Idempotent and safe from any thread:
+        a concurrent second ``close()`` blocks until the first finished the
+        teardown -- instead of returning while engines are still being torn
+        down -- and a *reentrant* call from within the closing thread (an
+        engine failure callback, say) returns immediately.  The first engine
+        failure is re-raised after *all* engines and arenas have been torn
+        down, from the closing thread only.
         """
+        engines: Optional[list["ExecutionEngine"]] = None
         with self._lock:
             if self._closed:
-                return
-            self._closed = True
-            engines = list(self._engines.values())
-            self._engines.clear()
-            arenas = list(self._arenas)
-            self._arenas.clear()
-            self.artifact_cache.clear()
+                closing_elsewhere = self._closing_thread != threading.get_ident()
+            else:
+                self._closed = True
+                self._closing_thread = threading.get_ident()
+                engines = list(self._engines.values())
+                self._engines.clear()
+                arenas = list(self._arenas)
+                self._arenas.clear()
+                self.artifact_cache.clear()
+        if engines is None:  # someone closed (or is closing) already
+            if closing_elsewhere:
+                self._close_done.wait()
+            return
         first_failure: Optional[BaseException] = None
-        for engine in engines:
-            try:
-                if not engine.is_shutdown:
-                    engine.shutdown(wait=True)
-            except BaseException as exc:  # noqa: BLE001 - re-raised below
-                if first_failure is None:
-                    first_failure = exc
-        for arena in arenas:
-            # Idempotent: engine shutdown released its own arena already.
-            arena.release()
+        try:
+            for engine in engines:
+                try:
+                    if not engine.is_shutdown:
+                        engine.shutdown(wait=True)
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    if first_failure is None:
+                        first_failure = exc
+            for arena in arenas:
+                # Idempotent: engine shutdown released its own arena already.
+                arena.release()
+        finally:
+            self._close_done.set()
         if first_failure is not None:
             raise first_failure
 

@@ -343,3 +343,200 @@ class TestAllEnginesParity:
             result = run_airfoil(mesh, niter=2, rk_steps=2)
         assert np.allclose(result.q, reference.q, rtol=1e-12, atol=1e-14)
         assert np.allclose(result.rms_history, reference.rms_history, rtol=1e-12)
+
+
+# ---------------------------------------------------------------------------
+# Differential fuzzing: random loop chains, every engine vs serial
+# ---------------------------------------------------------------------------
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.apps.jacobi import RES_KERNEL, UPDATE_KERNEL  # noqa: E402
+from repro.op2.access import OP_ID, OP_INC, OP_MAX, OP_READ, OP_RW  # noqa: E402
+from repro.op2.args import op_arg_dat, op_arg_gbl  # noqa: E402
+from repro.op2.kernel import Kernel  # noqa: E402
+from repro.op2.par_loop import op_par_loop  # noqa: E402
+from repro.session import Session  # noqa: E402
+
+
+def _fz_scale(r, u):
+    u[0] = 0.5 * u[0] + 0.25 * r[0]
+
+
+def _fz_scale_vec(_idx, r, u):
+    u[:, 0] = 0.5 * u[:, 0] + 0.25 * r[:, 0]
+
+
+FZ_SCALE = Kernel(name="fz_scale", elemental=_fz_scale, vectorized=_fz_scale_vec)
+
+
+def _fz_dup(a, d1, d2):
+    d1[0] += a[0]
+    d2[0] += 2.0 * a[0]
+
+
+def _fz_dup_vec(_idx, a, d1, d2):
+    d1[:, 0] += a[:, 0]
+    d2[:, 0] += 2.0 * a[:, 0]
+
+
+FZ_DUP = Kernel(name="fz_dup", elemental=_fz_dup, vectorized=_fz_dup_vec)
+
+
+def _fz_edge_rw(a):
+    a[0] = 0.9 * a[0] + 0.01
+
+
+def _fz_edge_rw_vec(_idx, a):
+    a[:, 0] = 0.9 * a[:, 0] + 0.01
+
+
+FZ_EDGE_RW = Kernel(name="fz_edge_rw", elemental=_fz_edge_rw, vectorized=_fz_edge_rw_vec)
+
+
+def _fz_ind_rw(a, u):
+    u[0] = 0.75 * u[0] + 0.125 * a[0]
+
+
+def _fz_ind_rw_vec(_idx, a, u):
+    u[:, 0] = 0.75 * u[:, 0] + 0.125 * a[:, 0]
+
+
+FZ_IND_RW = Kernel(name="fz_ind_rw", elemental=_fz_ind_rw, vectorized=_fz_ind_rw_vec)
+
+
+def _fz_gbl_rw(u, acc):
+    acc[0] = 0.5 * acc[0] + u[0]
+
+
+def _fz_gbl_rw_vec(_idx, u, acc):
+    for value in u[:, 0]:
+        acc[0] = 0.5 * acc[0] + value
+
+
+FZ_GBL_RW = Kernel(name="fz_gbl_rw", elemental=_fz_gbl_rw, vectorized=_fz_gbl_rw_vec)
+
+
+def _fuzz_chain(ops, problem, trace):
+    """Run the op sequence on ``problem``; exact-safe reductions go to ``trace``."""
+    for op in ops:
+        if op == "edge_inc":
+            op_par_loop(
+                RES_KERNEL, "res", problem.edges,
+                op_arg_dat(problem.p_A, -1, OP_ID, 1, "double", OP_READ),
+                op_arg_dat(problem.p_u, 0, problem.ppedge, 1, "double", OP_READ),
+                op_arg_dat(problem.p_du, 1, problem.ppedge, 1, "double", OP_INC),
+            )
+        elif op == "dup_inc":
+            # duplicate scatter: the same dat through the same map slot twice
+            op_par_loop(
+                FZ_DUP, "fz_dup", problem.edges,
+                op_arg_dat(problem.p_A, -1, OP_ID, 1, "double", OP_READ),
+                op_arg_dat(problem.p_du, 0, problem.ppedge, 1, "double", OP_INC),
+                op_arg_dat(problem.p_du, 0, problem.ppedge, 1, "double", OP_INC),
+            )
+        elif op == "update":
+            u_sum = np.zeros(1, dtype=np.float64)
+            u_max = np.full(1, -np.inf, dtype=np.float64)
+            op_par_loop(
+                UPDATE_KERNEL, "jac_update", problem.nodes,
+                op_arg_dat(problem.p_r, -1, OP_ID, 1, "double", OP_READ),
+                op_arg_dat(problem.p_du, -1, OP_ID, 1, "double", OP_RW),
+                op_arg_dat(problem.p_u, -1, OP_ID, 1, "double", OP_RW),
+                op_arg_gbl(u_sum, 1, "double", OP_INC),
+                op_arg_gbl(u_max, 1, "double", OP_MAX),
+            )
+            trace.append(("u_max", float(u_max[0])))
+        elif op == "scale":
+            op_par_loop(
+                FZ_SCALE, "fz_scale", problem.nodes,
+                op_arg_dat(problem.p_r, -1, OP_ID, 1, "double", OP_READ),
+                op_arg_dat(problem.p_u, -1, OP_ID, 1, "double", OP_RW),
+            )
+        elif op == "edge_rw":
+            op_par_loop(
+                FZ_EDGE_RW, "fz_edge_rw", problem.edges,
+                op_arg_dat(problem.p_A, -1, OP_ID, 1, "double", OP_RW),
+            )
+        elif op == "indirect_rw":
+            op_par_loop(
+                FZ_IND_RW, "fz_ind_rw", problem.edges,
+                op_arg_dat(problem.p_A, -1, OP_ID, 1, "double", OP_READ),
+                op_arg_dat(problem.p_u, 0, problem.ppedge, 1, "double", OP_RW),
+            )
+        elif op == "gbl_rw":
+            # non-reduction global RW: forces the eager serialized fallback
+            acc = np.zeros(1, dtype=np.float64)
+            op_par_loop(
+                FZ_GBL_RW, "fz_gbl_rw", problem.nodes,
+                op_arg_dat(problem.p_u, -1, OP_ID, 1, "double", OP_READ),
+                op_arg_gbl(acc, 1, "double", OP_RW),
+            )
+            trace.append(("gbl_rw", float(acc[0])))
+        elif op == "renumber":
+            # mid-run renumbering: set_values drains in-flight loops first
+            problem.ppedge.set_values(np.roll(problem.ppedge.values, 5, axis=0))
+        else:  # pragma: no cover - strategy and palette must agree
+            raise AssertionError(f"unknown fuzz op {op!r}")
+
+
+FUZZ_OPS = st.sampled_from(
+    ["edge_inc", "dup_inc", "update", "scale", "edge_rw", "indirect_rw", "gbl_rw", "renumber"]
+)
+
+
+@pytest.fixture(scope="module")
+def fuzz_sessions():
+    """One warm session per engine, so examples reuse live worker pools."""
+    sessions = {}
+    yield sessions
+    for session in sessions.values():
+        session.close()
+
+
+class TestEngineParityFuzzer:
+    """The generalized all-engines differential harness: random loop chains
+    (access-mode mix, duplicate scatters, globals, mid-run renumbering) must
+    agree with serial on every registered engine -- bit-for-bit for dats and
+    order-insensitive reductions, to tolerance for chunk-accumulated sums."""
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        derandomize=True,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(ops=st.lists(FUZZ_OPS, min_size=1, max_size=6))
+    def test_random_chains_all_engines_match_serial(self, ops, fuzz_sessions):
+        clear_plan_cache()
+        reference = build_ring_problem(num_nodes=72, seed=13)
+        reference_trace = []
+        with active_context(serial_context()):
+            _fuzz_chain(ops, reference, reference_trace)
+
+        for engine in available_engines():
+            session = fuzz_sessions.get(engine)
+            if session is None or session.closed:
+                session = Session(name=f"fuzz-{engine}")
+                fuzz_sessions[engine] = session
+            clear_plan_cache()
+            problem = build_ring_problem(num_nodes=72, seed=13)
+            trace = []
+            with active_context(
+                hpx_context(engine=engine, num_threads=4, session=session)
+            ):
+                _fuzz_chain(ops, problem, trace)
+
+            label = f"engine={engine} ops={ops}"
+            assert np.array_equal(problem.p_u.data, reference.p_u.data), label
+            assert np.array_equal(problem.p_du.data, reference.p_du.data), label
+            assert np.array_equal(problem.p_A.data, reference.p_A.data), label
+            assert len(trace) == len(reference_trace), label
+            for (kind, value), (ref_kind, ref_value) in zip(trace, reference_trace):
+                assert kind == ref_kind, label
+                if kind == "u_max":
+                    # MAX reductions are order-insensitive: exact
+                    assert value == ref_value, label
+                else:
+                    # serialized global RW chains are element-ordered: exact
+                    assert value == ref_value, label

@@ -296,3 +296,214 @@ class TestLifecycle:
         executor.shutdown(wait=True)
         for worker in executor._workers:
             assert not worker.is_alive()
+
+
+class _Group:
+    """A minimal group object carrying the scheduling key."""
+
+    def __init__(self, tenant=None):
+        self.tenant = tenant
+
+
+class TestTaskGroups:
+    """Group-scoped draining and failure: the engine-lease substrate."""
+
+    def test_wait_group_drains_only_that_group(self):
+        executor = PoolExecutor(2)
+        ga, gb = _Group("a"), _Group("b")
+        release_b = threading.Event()
+        done_a = []
+        executor.submit(lambda: done_a.append(1), group=ga)
+        executor.submit(release_b.wait, group=gb)
+        try:
+            executor.wait_group(ga, timeout=5.0)  # must not wait on gb's task
+            assert done_a == [1]
+        finally:
+            release_b.set()
+            executor.shutdown(wait=True)
+
+    def test_wait_group_unknown_group_returns_immediately(self):
+        executor = PoolExecutor(1)
+        try:
+            executor.wait_group(_Group("never-submitted"), timeout=0.1)
+        finally:
+            executor.shutdown(wait=True)
+
+    def test_group_failure_scoped_to_its_group(self):
+        executor = PoolExecutor(2)
+        ga, gb = _Group("a"), _Group("b")
+
+        def boom():
+            raise ValueError("tenant a exploded")
+
+        executor.submit(boom, group=ga)
+        executor.submit(lambda: None, group=gb)
+        with pytest.raises(ValueError, match="tenant a exploded"):
+            executor.wait_group(ga)
+        executor.wait_group(gb)  # unaffected
+        # the failure was grouped: the pool-wide drain does not re-raise it
+        executor.wait_all()
+        executor.shutdown(wait=True)
+
+    def test_group_failure_skips_group_tasks_only(self):
+        executor = PoolExecutor(1)
+        ga, gb = _Group("a"), _Group("b")
+        ran, skipped = [], []
+
+        def boom():
+            raise ValueError("poison")
+
+        fail_id = executor.submit(boom, group=ga)
+        executor.submit(
+            lambda: ran.append("a"),
+            deps=[fail_id],
+            on_skip=lambda: skipped.append("a"),
+            group=ga,
+        )
+        executor.submit(lambda: ran.append("b"), group=gb)
+        with pytest.raises(ValueError, match="poison"):
+            executor.wait_group(ga)
+        executor.wait_group(gb)
+        assert skipped == ["a"]
+        assert ran == ["b"]
+        executor.shutdown(wait=True)
+
+    def test_cancel_group_poisons_one_group(self):
+        executor = PoolExecutor(1)
+        ga, gb = _Group("a"), _Group("b")
+        gate = threading.Event()
+        ran, skipped = [], []
+        executor.submit(gate.wait)  # hold the single worker
+        executor.submit(lambda: ran.append("a"), on_skip=lambda: skipped.append("a"), group=ga)
+        executor.submit(lambda: ran.append("b"), group=gb)
+        executor.cancel_group(ga)
+        gate.set()
+        from repro.errors import CancelledError
+
+        with pytest.raises(CancelledError):
+            executor.wait_group(ga)
+        executor.wait_group(gb)
+        assert skipped == ["a"]
+        assert ran == ["b"]
+        executor.shutdown(wait=True)
+
+    def test_group_reusable_after_drained_failure(self):
+        executor = PoolExecutor(2)
+        group = _Group("a")
+
+        def boom():
+            raise ValueError("first run failed")
+
+        executor.submit(boom, group=group)
+        with pytest.raises(ValueError):
+            executor.wait_group(group)
+        done = []
+        executor.submit(lambda: done.append(1), group=group)
+        executor.wait_group(group)
+        assert done == [1]
+        executor.shutdown(wait=True)
+
+    def test_ungrouped_failure_still_pool_wide(self):
+        """The historical contract: ungrouped failures re-raise from wait_all."""
+        executor = PoolExecutor(2)
+
+        def boom():
+            raise ValueError("ungrouped")
+
+        executor.submit(boom)
+        with pytest.raises(ValueError, match="ungrouped"):
+            executor.wait_all()
+        executor.shutdown(wait=True)
+
+    def test_submit_chunk_accepts_group(self):
+        executor = PoolExecutor(2)
+        group = _Group("a")
+        order = []
+
+        def make_prepare(tag):
+            def prepare():
+                order.append(f"compute-{tag}")
+                return lambda: order.append(f"merge-{tag}")
+
+            return prepare
+
+        _, merge_one = executor.submit_chunk(make_prepare(1), group=group)
+        executor.submit_chunk(make_prepare(2), after=merge_one, group=group)
+        executor.wait_group(group)
+        assert order.index("merge-1") < order.index("merge-2")
+        executor.shutdown(wait=True)
+
+
+class TestReadyQueuePolicies:
+    """Pluggable ready-queue ordering (FIFO default, weighted round-robin)."""
+
+    def test_weighted_round_robin_interleaves_keys(self):
+        from repro.runtime.policies import WeightedRoundRobin
+
+        queue = WeightedRoundRobin()
+        for i in range(3):
+            queue.push(f"a{i}", "a")
+        for i in range(3):
+            queue.push(f"b{i}", "b")
+        popped = [queue.pop() for _ in range(6)]
+        assert popped == ["a0", "b0", "a1", "b1", "a2", "b2"]
+
+    def test_weighted_round_robin_respects_weights(self):
+        from repro.runtime.policies import WeightedRoundRobin
+
+        queue = WeightedRoundRobin({"a": 2, "b": 1})
+        for i in range(4):
+            queue.push(f"a{i}", "a")
+        for i in range(2):
+            queue.push(f"b{i}", "b")
+        popped = [queue.pop() for _ in range(6)]
+        assert popped == ["a0", "a1", "b0", "a2", "a3", "b1"]
+
+    def test_weighted_round_robin_skips_empty_keys(self):
+        from repro.runtime.policies import WeightedRoundRobin
+
+        queue = WeightedRoundRobin()
+        queue.push("a0", "a")
+        assert queue.pop() == "a0"
+        queue.push("b0", "b")
+        queue.push("b1", "b")
+        assert [queue.pop(), queue.pop()] == ["b0", "b1"]
+        with pytest.raises(IndexError):
+            queue.pop()
+
+    def test_executor_fair_dispatch_order(self):
+        """With one held worker, queued ready tasks of two groups dispatch
+        in round-robin order instead of submission order."""
+        from repro.runtime.policies import WeightedRoundRobin
+
+        executor = PoolExecutor(1, ready_policy=WeightedRoundRobin())
+        ga, gb = _Group("a"), _Group("b")
+        gate = threading.Event()
+        order = []
+        executor.submit(gate.wait)
+        for i in range(3):
+            executor.submit(lambda i=i: order.append(("a", i)), group=ga)
+        for i in range(3):
+            executor.submit(lambda i=i: order.append(("b", i)), group=gb)
+        gate.set()
+        executor.wait_all()
+        assert order == [("a", 0), ("b", 0), ("a", 1), ("b", 1), ("a", 2), ("b", 2)]
+        executor.shutdown(wait=True)
+
+    def test_set_ready_policy_migrates_queued_tasks(self):
+        from repro.runtime.policies import WeightedRoundRobin
+
+        executor = PoolExecutor(1)
+        ga, gb = _Group("a"), _Group("b")
+        gate = threading.Event()
+        order = []
+        executor.submit(gate.wait)
+        for i in range(2):
+            executor.submit(lambda i=i: order.append(("a", i)), group=ga)
+        for i in range(2):
+            executor.submit(lambda i=i: order.append(("b", i)), group=gb)
+        executor.set_ready_policy(WeightedRoundRobin())  # while tasks are queued
+        gate.set()
+        executor.wait_all()
+        assert order == [("a", 0), ("b", 0), ("a", 1), ("b", 1)]
+        executor.shutdown(wait=True)

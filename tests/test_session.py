@@ -368,3 +368,106 @@ class TestSessionIsolation:
                 assert outer.kernel_names() == ["nested-kern"]
             finally:
                 inner.close()
+
+
+class TestCloseSafety:
+    """close() is idempotent and safe from threads other than the activator."""
+
+    def test_double_close_shuts_engines_once(self):
+        session = Session(name="double-close")
+
+        class Recorder:
+            is_shutdown = False
+            capabilities = None
+
+            def shutdown(self, wait=True):
+                assert not self.is_shutdown, "engine shut down twice"
+                self.is_shutdown = True
+
+        recorder = Recorder()
+        session._engines[("fake", 1, True)] = recorder
+        session.close()
+        session.close()
+        assert recorder.is_shutdown
+
+    def test_cross_thread_close_waits_for_teardown(self):
+        """A second close() from another thread must not return while the
+        first is still tearing engines down."""
+        session = Session(name="cross-thread-close")
+        teardown_started = threading.Event()
+        release_teardown = threading.Event()
+        torn_down = []
+
+        class SlowEngine:
+            is_shutdown = False
+            capabilities = None
+
+            def shutdown(self, wait=True):
+                teardown_started.set()
+                release_teardown.wait(5.0)
+                torn_down.append(True)
+                self.is_shutdown = True
+
+        session._engines[("slow", 1, True)] = SlowEngine()
+
+        first = threading.Thread(target=session.close)
+        first.start()
+        assert teardown_started.wait(5.0)
+
+        second_returned = threading.Event()
+
+        def second_close():
+            session.close()
+            second_returned.set()
+
+        second = threading.Thread(target=second_close)
+        second.start()
+        # the slow teardown is still in progress: the second close must block
+        assert not second_returned.wait(0.2)
+        release_teardown.set()
+        first.join(5.0)
+        assert second_returned.wait(5.0)
+        second.join(5.0)
+        assert torn_down == [True]
+
+    def test_close_from_non_activating_thread(self):
+        session = Session(name="other-thread-close")
+        with session.use():
+            _run_jacobi(hpx_context, engine="threads", num_threads=2)
+        closer = threading.Thread(target=session.close)
+        closer.start()
+        closer.join(10.0)
+        assert session.closed
+        assert session.live_engines() == []
+
+
+class TestSessionStats:
+    def test_stats_snapshot_shape(self):
+        session = Session(name="stats")
+        with session.use():
+            _run_jacobi(hpx_context, engine="threads", num_threads=2)
+        # the dataflow pipeline plans chunks, not colouring plans: exercise
+        # the plan-cache counters directly
+        assert session.plan_cache.lookup(("loop",), (1,)) is None
+        session.plan_cache.store(("loop",), (1,), object())
+        assert session.plan_cache.lookup(("loop",), (1,)) is not None
+        stats = session.stats()
+        assert stats["name"] == "stats"
+        assert stats["closed"] is False
+        assert stats["engines"] == [["threads", 2, True]]
+        assert stats["plan_cache"] == {"hits": 1, "misses": 1, "entries": 1}
+        assert set(stats["artifact_cache"]) == {"hits", "misses", "entries"}
+        assert isinstance(stats["arenas"], int)
+        session.close()
+        assert session.stats()["closed"] is True
+
+    def test_stats_wired_into_backend_report(self):
+        session = Session(name="report-stats")
+        with session.use():
+            with active_context(hpx_context(engine="threads", num_threads=2)) as ctx:
+                run_jacobi(build_ring_problem(60), iterations=2)
+            report = ctx.report()
+        session.close()
+        assert report.details["session"]["name"] == "report-stats"
+        assert set(report.details["session"]["plan_cache"]) == {"hits", "misses", "entries"}
+        assert report.details["session"]["artifact_cache"]["hits"] >= 0
