@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import threading
 import warnings
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Callable, Hashable, Optional
 
 from repro.errors import OP2BackendError, ReproDeprecationWarning
 
@@ -119,7 +119,7 @@ def make_engine(
     *,
     session: Optional["Session"] = None,
     pool: Optional["SharedEnginePool"] = None,
-    tenant: Optional[str] = None,
+    tenant: Optional[Hashable] = None,
 ) -> "ExecutionEngine":
     """Instantiate the engine named by ``config.engine``, handing it the config.
 

@@ -329,12 +329,21 @@ class PoolExecutor:
 
         Caller holds the lock.  Failed and skipped tasks entered ``_done``
         too, so deps on them stay satisfied through the watermark alone.
-        Group states are reset: everything drained, so undelivered group
-        failures die with the barrier, exactly like the pool-level latch.
+        Drained group states are dropped -- *except* those still latching an
+        undelivered failure: the pool going globally idle (another tenant's
+        ``wait_group``, or a ``wait_all``) must never wipe a failure the
+        owning group has not observed, or that group's next drain would
+        report success over silently partial results.  Delivered failures
+        (already re-raised from a timed-out wait) die with the barrier, like
+        the pool-level latch.
         """
         self._done.clear()
         self._done_watermark = self._next_id
-        self._groups.clear()
+        self._groups = {
+            group: state
+            for group, state in self._groups.items()
+            if state.failure is not None and not state.delivered
+        }
         self._cancelled = None
 
     def cancel_pending(self) -> None:
@@ -342,8 +351,11 @@ class PoolExecutor:
         skipped (``on_skip`` fires).
 
         In-flight tasks finish; used when abandoning a run mid-way (e.g. the
-        application raised inside the execution context).  To poison a single
-        tenant's tasks use :meth:`cancel_group`.
+        application raised inside the execution context).  Skipping a grouped
+        task latches the cancellation into its group, so the group's next
+        :meth:`wait_group` re-raises it instead of reporting success over the
+        never-executed chunks.  To poison a single tenant's tasks use
+        :meth:`cancel_group`.
         """
         with self._cond:
             if self._cancelled is None:
@@ -392,6 +404,15 @@ class PoolExecutor:
                 task_id = self._ready.pop()
                 node = self._tasks[task_id]
                 group_state = self._group_state(node.group)
+                if (
+                    self._cancelled is not None
+                    and node.group is not None
+                    and group_state.failure is None
+                ):
+                    # A pool-wide cancel skipping a grouped task must latch
+                    # into the group, or its wait_group would report success
+                    # over the skipped (never executed) chunks.
+                    group_state.failure = self._cancelled
                 poisoned = (
                     self._cancelled is not None
                     or group_state.failure is not None

@@ -17,9 +17,14 @@ engine's ready queue interleaves *chunks* of concurrently running requests
 -- the paper's chunked dataflow execution is what makes the second level
 possible, every loop being preemptible between chunks.
 
-Requests of one tenant execute serially, in admission order (a per-tenant
-run lock): chains of one tenant typically share dats, and serial execution
-keeps their results deterministic without asking callers to synchronise.
+Requests of one tenant execute serially, in admission order -- enforced
+structurally, not by a lock: at most one request per tenant is ever in the
+dispatch queue or running, the rest wait in a per-tenant FIFO backlog and
+are promoted one at a time as the previous request finishes.  (A lock would
+only guarantee mutual exclusion; ``threading.Lock`` is unfair, so two
+dispatchers could run a tenant's requests out of admission order.)  Chains
+of one tenant typically share dats, and serial in-order execution keeps
+their results deterministic without asking callers to synchronise.
 Distinct tenants run genuinely concurrently, up to ``dispatchers`` threads.
 """
 
@@ -29,6 +34,7 @@ import asyncio
 import concurrent.futures
 import functools
 import threading
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Optional
 
@@ -132,10 +138,17 @@ class ServiceRuntime:
         self._queue = WeightedRoundRobin(
             self._pool.tenant_weights, default_weight=self.config.default_weight
         )
+        #: tenants with a request in the dispatch queue or running; their
+        #: later requests wait in _tenant_backlog (FIFO, admission order)
+        self._tenant_active: set[Hashable] = set()
+        self._tenant_backlog: dict[Hashable, deque[_Request]] = {}
         self._sessions: dict[Hashable, Session] = {}
-        self._tenant_locks: dict[Hashable, threading.Lock] = {}
         self._state_lock = threading.Lock()
+        #: dispatch() rejects once False; flipped together with _closed
+        self._accepting = True
         self._closed = False
+        #: True once sessions/pool teardown began (after dispatchers drained)
+        self._torn_down = False
         self._dispatchers = [
             threading.Thread(
                 target=self._dispatch_loop, name=f"service-dispatch-{i}", daemon=True
@@ -175,7 +188,7 @@ class ServiceRuntime:
         """
         if not callable(fn):
             raise ServiceError(f"request of tenant {tenant!r} is not callable: {fn!r}")
-        if self._closed:
+        if not self._accepting:
             raise ServiceClosedError("service runtime has been closed")
         timeout = (
             self.config.admission_timeout if admission_timeout is _UNSET else admission_timeout
@@ -186,11 +199,17 @@ class ServiceRuntime:
             tenant, fn, config if config is not None else self._default_run_config(), future
         )
         with self._queue_cond:
-            if self._closed:
+            if not self._accepting:
                 self._admission.cancel(tenant)
                 raise ServiceClosedError("service runtime has been closed")
-            self._queue.push(request, tenant)
-            self._queue_cond.notify()
+            if tenant in self._tenant_active:
+                # Serial-per-tenant, structurally: the request only enters
+                # the dispatch queue once the tenant's previous one finished.
+                self._tenant_backlog.setdefault(tenant, deque()).append(request)
+            else:
+                self._tenant_active.add(tenant)
+                self._queue.push(request, tenant)
+                self._queue_cond.notify()
         return future
 
     def submit_sync(
@@ -246,23 +265,20 @@ class ServiceRuntime:
         self._pool.tenant_weights[tenant] = int(weight)
 
     def tenant_session(self, tenant: Hashable) -> Session:
-        """The tenant's session (created on first use, leasing from the pool)."""
+        """The tenant's session (created on first use, leasing from the pool).
+
+        Gated on teardown, not on :meth:`close` itself: a draining close
+        still executes queued requests, whose dispatchers need their tenant
+        sessions while ``closed`` is already True.
+        """
         with self._state_lock:
-            if self._closed:
+            if self._torn_down:
                 raise ServiceClosedError("service runtime has been closed")
             session = self._sessions.get(tenant)
             if session is None or session.closed:
-                session = Session(name=str(tenant), engine_pool=self._pool)
+                session = Session(name=str(tenant), engine_pool=self._pool, tenant=tenant)
                 self._sessions[tenant] = session
             return session
-
-    def _tenant_lock(self, tenant: Hashable) -> threading.Lock:
-        with self._state_lock:
-            lock = self._tenant_locks.get(tenant)
-            if lock is None:
-                lock = threading.Lock()
-                self._tenant_locks[tenant] = lock
-            return lock
 
     def stats(self) -> dict[str, Any]:
         """JSON-friendly snapshot: admission, queue, pool and tenant stats."""
@@ -270,6 +286,9 @@ class ServiceRuntime:
             sessions = dict(self._sessions)
         with self._queue_cond:
             queued = self._queue.queued_by_key()
+            for tenant, backlog in self._tenant_backlog.items():
+                if backlog:
+                    queued[tenant] = queued.get(tenant, 0) + len(backlog)
         return {
             "closed": self._closed,
             "admission": self._admission.snapshot(),
@@ -296,17 +315,32 @@ class ServiceRuntime:
                 request.future.set_result(result)
             finally:
                 self._admission.finish(request.tenant)
+                self._promote_next(request.tenant)
+
+    def _promote_next(self, tenant: Hashable) -> None:
+        """A tenant's request finished: make its next backlogged one ready."""
+        with self._queue_cond:
+            backlog = self._tenant_backlog.get(tenant)
+            if backlog:
+                nxt = backlog.popleft()
+                if not backlog:
+                    del self._tenant_backlog[tenant]
+                self._queue.push(nxt, tenant)
+                self._queue_cond.notify()
+            else:
+                self._tenant_active.discard(tenant)
 
     def _run_request(self, request: _Request) -> Any:
         from repro.core.executor import hpx_context
 
+        # No per-tenant lock: the backlog already guarantees at most one
+        # request per tenant reaches a dispatcher at a time, in admission
+        # order.  Entering the context activates the tenant session (kernels
+        # and plans resolve against it) and leases its engines from the
+        # shared pool; exiting drains the tenant's task group.
         session = self.tenant_session(request.tenant)
-        with self._tenant_lock(request.tenant):
-            # Entering the context activates the tenant session (kernels and
-            # plans resolve against it) and leases its engines from the
-            # shared pool; exiting drains the tenant's task group.
-            with hpx_context(config=request.run_config, session=session):
-                return request.fn()
+        with hpx_context(config=request.run_config, session=session):
+            return request.fn()
 
     # -- lifecycle -------------------------------------------------------------------
     @property
@@ -325,10 +359,14 @@ class ServiceRuntime:
         with self._queue_cond:
             already = self._closed
             self._closed = True
+            self._accepting = False
             abandoned: list[_Request] = []
             if not drain:
                 while self._queue:
                     abandoned.append(self._queue.pop())
+                for backlog in self._tenant_backlog.values():
+                    abandoned.extend(backlog)
+                self._tenant_backlog.clear()
             self._queue_cond.notify_all()
         for request in abandoned:
             self._admission.cancel(request.tenant)
@@ -341,6 +379,7 @@ class ServiceRuntime:
         if already:
             return
         with self._state_lock:
+            self._torn_down = True
             sessions = list(self._sessions.values())
             self._sessions.clear()
         first_failure: Optional[BaseException] = None

@@ -195,11 +195,15 @@ class Session:
         A :class:`~repro.service.SharedEnginePool` to *lease* engines from
         instead of building private ones.  With a pool, :meth:`engine`
         returns an :class:`~repro.service.EngineLease` (a group-scoped view
-        of a shared engine, keyed by this session's name as the tenant) and
-        :meth:`close` releases the leases back to the pool -- the underlying
-        engines stay warm for other tenants.  The pool itself is owned by
-        whoever created it (typically a
-        :class:`~repro.service.ServiceRuntime`).
+        of a shared engine, keyed by :attr:`tenant`) and :meth:`close`
+        releases the leases back to the pool -- the underlying engines stay
+        warm for other tenants.  The pool itself is owned by whoever created
+        it (typically a :class:`~repro.service.ServiceRuntime`).
+    tenant:
+        The scheduling key leases are taken under -- the *raw* tenant object,
+        so the engine's fair ready queue and the service runtime's weights
+        dict agree on one key even for non-string tenants.  Defaults to
+        :attr:`name` (the historical behaviour) when omitted.
     """
 
     def __init__(
@@ -207,8 +211,11 @@ class Session:
         name: Optional[str] = None,
         *,
         engine_pool: Optional[Any] = None,
+        tenant: Optional[Any] = None,
     ) -> None:
         self.name = name if name is not None else f"session-{next(_session_counter)}"
+        #: fair-scheduling key of this session's engine leases
+        self.tenant = tenant if tenant is not None else self.name
         self._lock = threading.RLock()
         self._kernels: dict[str, "Kernel"] = {}
         self.plan_cache = PlanCache()
@@ -432,7 +439,7 @@ class Session:
                 # Lease from the shared pool: the pool owns the engine (and
                 # its arena); the lease is what close() "shuts down", which
                 # merely releases it back to the pool.
-                engine = self._engine_pool.lease(config, tenant=self.name)
+                engine = self._engine_pool.lease(config, tenant=self.tenant)
                 self._engines[key] = engine
                 return engine
             engine = make_engine(config)

@@ -433,6 +433,57 @@ class TestTaskGroups:
         assert order.index("merge-1") < order.index("merge-2")
         executor.shutdown(wait=True)
 
+    def test_group_failure_survives_another_groups_drain(self):
+        """Tenant B draining the (globally idle) pool must not wipe tenant A's
+        latched-but-undelivered failure: A's next drain still re-raises."""
+        executor = PoolExecutor(2)
+        ga, gb = _Group("a"), _Group("b")
+
+        def boom():
+            raise ValueError("tenant a exploded")
+
+        fail_id = executor.submit(boom, group=ga)
+        # gb's task depends on ga's, so by the time gb drains the whole pool
+        # is idle and the drained-barrier compaction runs
+        executor.submit(lambda: None, deps=[fail_id], group=gb)
+        executor.wait_group(gb, timeout=10.0)
+        with pytest.raises(ValueError, match="tenant a exploded"):
+            executor.wait_group(ga, timeout=10.0)
+        executor.shutdown(wait=True)
+
+    def test_group_failure_survives_wait_all(self):
+        """wait_all does not re-raise grouped failures -- but it must not
+        swallow them either; they stay latched for the group's own drain."""
+        executor = PoolExecutor(2)
+        group = _Group("a")
+
+        def boom():
+            raise ValueError("grouped failure")
+
+        executor.submit(boom, group=group)
+        executor.wait_all(timeout=10.0)  # drains, compacts, must not raise
+        with pytest.raises(ValueError, match="grouped failure"):
+            executor.wait_group(group, timeout=10.0)
+        executor.shutdown(wait=True)
+
+    def test_cancel_pending_latches_into_skipped_groups(self):
+        """A pool-wide cancel that skips a group's queued tasks re-raises from
+        that group's drain instead of reporting success over skipped chunks."""
+        from repro.errors import CancelledError
+
+        executor = PoolExecutor(1)
+        group = _Group("a")
+        gate = threading.Event()
+        skipped = []
+        executor.submit(gate.wait)  # hold the single worker
+        executor.submit(lambda: None, on_skip=lambda: skipped.append("a"), group=group)
+        executor.cancel_pending()
+        gate.set()
+        with pytest.raises(CancelledError):
+            executor.wait_group(group, timeout=10.0)
+        assert skipped == ["a"]
+        executor.shutdown(wait=False)
+
 
 class TestReadyQueuePolicies:
     """Pluggable ready-queue ordering (FIFO default, weighted round-robin)."""

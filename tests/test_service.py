@@ -255,6 +255,68 @@ class TestServiceRuntime:
         with pytest.raises(ServiceClosedError):
             queued.result(5.0)
 
+    def test_close_with_drain_executes_queued_requests(self):
+        """A draining close (the default, what ``__exit__`` does) runs queued
+        requests to completion instead of failing them with
+        ServiceClosedError (the dispatchers still need tenant sessions)."""
+        runtime = ServiceRuntime(ServiceConfig(num_threads=2, dispatchers=1))
+        gate = threading.Event()
+        running = threading.Event()
+
+        def hold():
+            running.set()
+            gate.wait(5.0)
+
+        first = runtime.dispatch("alice", hold)
+        assert running.wait(5.0)
+        queued = runtime.dispatch("bob", _jacobi)  # waits behind hold()
+        closer = threading.Thread(target=runtime.close)  # drain=True
+        closer.start()
+        gate.set()
+        closer.join(30.0)
+        assert not closer.is_alive()
+        first.result(5.0)
+        assert np.array_equal(queued.result(5.0).u, _serial_jacobi().u)
+        with pytest.raises(ServiceClosedError):
+            runtime.submit_sync("carol", _jacobi)
+
+    def test_same_tenant_requests_run_serially_in_admission_order(self):
+        """With several dispatchers, one tenant's requests must still execute
+        one at a time in the order they were admitted (structural FIFO, not
+        an unfair lock)."""
+        config = ServiceConfig(num_threads=2, dispatchers=4, admission_timeout=None)
+        with ServiceRuntime(config) as runtime:
+            order: list[int] = []
+            gate = threading.Event()
+
+            def make(i):
+                def run():
+                    if i == 0:
+                        # hold the first request so the rest pile up behind it
+                        gate.wait(10.0)
+                    order.append(i)
+
+                return run
+
+            futures = [runtime.dispatch("alice", make(i)) for i in range(6)]
+            gate.set()
+            for future in futures:
+                future.result(30.0)
+            assert order == list(range(6))
+
+    def test_non_string_tenant_keys_lease_and_weights_consistently(self):
+        """The raw tenant object keys both fairness levels: the lease's
+        scheduling key equals the request-queue/weights key, so
+        set_tenant_weight retunes chunk scheduling for non-string tenants."""
+        tenant = ("team", 7)
+        with ServiceRuntime(ServiceConfig(num_threads=2, dispatchers=1)) as runtime:
+            runtime.set_tenant_weight(tenant, 3)
+            runtime.submit_sync(tenant, _jacobi)
+            session = runtime.tenant_session(tenant)
+            lease = session.engine(RunConfig(engine="threads", num_threads=2))
+            assert lease.tenant == tenant
+            assert runtime.pool.tenant_weights[lease.tenant] == 3
+
     def test_result_timeout_is_typed(self):
         with ServiceRuntime(ServiceConfig(num_threads=2, dispatchers=1)) as runtime:
             gate = threading.Event()
