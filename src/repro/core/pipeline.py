@@ -671,6 +671,11 @@ class LoopPipeline:
             engine.wait_all()
 
         if schedule.submission == "eager":
+            if engine is not None and capabilities.partitioned_dats:
+                # The eager loop runs on the parent's home views; a
+                # partitioned engine must land every worker-fresh run there
+                # first (the preceding drain only completed the tasks).
+                engine.sync_parent_dats()
             self.policy.execute_eager(
                 loop, schedule.analyzed.lowered, self.prefer_vectorized
             )
@@ -834,6 +839,14 @@ class LoopPipeline:
                     # failure caused the abort); the context is already
                     # unwinding with the application's exception.
                     pass
+                if self.capabilities.partitioned_dats:
+                    try:
+                        self._executor.sync_parent_dats()
+                    except Exception:
+                        # Best effort: an aborted run's values are
+                        # unspecified, but whatever committed should be
+                        # visible on the parent's home views.
+                        pass
             else:
                 self._executor.shutdown(wait=False)
         self._stop_clock()
@@ -848,6 +861,10 @@ class LoopPipeline:
         if self._executor is not None and not self._executor.is_shutdown:
             if self.session is not None:
                 self._executor.wait_all()
+                if self.capabilities.partitioned_dats:
+                    # The application reads dats on the parent after the
+                    # chain: land every worker-fresh run in the home views.
+                    self._executor.sync_parent_dats()
             else:
                 self._executor.shutdown(wait=True)
         self._stop_clock()

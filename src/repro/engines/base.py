@@ -75,6 +75,11 @@ class EngineCapabilities:
       kernel pipeline (capture → parse → IR → emit) and dispatched as
       compiled slab functions; loops (or kernels) the pipeline cannot lower
       fall back to the interpreted prepare path per loop.
+    * ``partitioned_dats``: dats live in per-shard partitions (owned + halo
+      regions) rather than one coherent storage every task sees; the
+      parent's view of a dat is only current after the engine's
+      ``sync_parent_dats()`` ran, so contexts call it before any parent-side
+      read or eager execution (drains, finish, global-write fallbacks).
     """
 
     deferred: bool = True
@@ -84,6 +89,7 @@ class EngineCapabilities:
     strict_commit_order: bool = True
     separate_merge_channel: bool = False
     compiled_kernels: bool = False
+    partitioned_dats: bool = False
 
     def describe(self) -> dict[str, bool]:
         """The capability record as a plain dict (used in backend reports)."""

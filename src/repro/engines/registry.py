@@ -47,7 +47,7 @@ _engine_factories: dict[str, tuple[Callable[..., "ExecutionEngine"], "EngineCapa
 _registry_lock = threading.Lock()
 
 #: the engine names every installation ships with
-BUILTIN_ENGINES = ("simulate", "threads", "processes", "compiled")
+BUILTIN_ENGINES = ("simulate", "threads", "processes", "compiled", "sharded")
 
 
 def register_engine(

@@ -24,7 +24,7 @@ benchmarks compare against.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence, Union
+from typing import Iterable, Optional, Sequence, Union
 
 import numpy as np
 
@@ -151,6 +151,91 @@ class IntervalSet:
         return IntervalSet(
             starts[first], reach[last], block_shift=self.block_shift, block_mask=mask
         )
+
+    def intersection(self, other: "IntervalSet") -> Optional["IntervalSet"]:
+        """Elements covered by both sets, or ``None`` when they are disjoint.
+
+        Returning ``None`` for the empty result keeps the invariant that every
+        live :class:`IntervalSet` covers at least one element (callers treat
+        ``None`` as the empty set), matching :meth:`from_targets`.
+        """
+        if not self.overlaps(other):
+            return None
+        a_starts, a_stops = self.starts, self.stops
+        b_starts, b_stops = other.starts, other.stops
+        out_starts: list[int] = []
+        out_stops: list[int] = []
+        i = j = 0
+        len_a, len_b = len(a_starts), len(b_starts)
+        while i < len_a and j < len_b:
+            lo = max(a_starts[i], b_starts[j])
+            hi = min(a_stops[i], b_stops[j])
+            if lo <= hi:
+                out_starts.append(int(lo))
+                out_stops.append(int(hi))
+            # Advance whichever run ends first; ties advance both safely via
+            # two iterations (runs are disjoint within each set).
+            if a_stops[i] < b_stops[j]:
+                i += 1
+            else:
+                j += 1
+        if not out_starts:
+            return None
+        return IntervalSet(
+            np.asarray(out_starts, dtype=np.int64),
+            np.asarray(out_stops, dtype=np.int64),
+            block_shift=self.block_shift,
+        )
+
+    def difference(self, other: "IntervalSet") -> Optional["IntervalSet"]:
+        """Elements of ``self`` not covered by ``other`` (``None`` when empty)."""
+        if not self.overlaps(other):
+            return self
+        # self - other == self & complement(other): the complement over a hull
+        # wide enough to cover both sets is itself a sorted disjoint run list.
+        hull_hi = max(self.hi, other.hi) + 1
+        comp_starts = np.concatenate(([0], other.stops + 1))
+        comp_stops = np.concatenate((other.starts - 1, [hull_hi]))
+        keep = comp_starts <= comp_stops
+        if not np.any(keep):
+            return None
+        complement = IntervalSet(
+            comp_starts[keep].astype(np.int64),
+            comp_stops[keep].astype(np.int64),
+            block_shift=self.block_shift,
+        )
+        return self.intersection(complement)
+
+    def clip(self, lo: int, hi: int) -> Optional["IntervalSet"]:
+        """The subset within the inclusive range ``[lo, hi]`` (``None`` when empty).
+
+        This is the shard-relative slicing primitive: clipping a chunk summary
+        to a shard's owned cut yields the runs that shard must hold.
+        """
+        if hi < lo:
+            return None
+        first = int(np.searchsorted(self.stops, lo, side="left"))
+        last = int(np.searchsorted(self.starts, hi, side="right"))
+        if first >= last:
+            return None
+        starts = self.starts[first:last].copy()
+        stops = self.stops[first:last].copy()
+        starts[0] = max(int(starts[0]), lo)
+        stops[-1] = min(int(stops[-1]), hi)
+        return IntervalSet(starts, stops, block_shift=self.block_shift)
+
+    def split(self, cuts: Sequence[int]) -> list[Optional["IntervalSet"]]:
+        """Slice the set by monotone ``cuts`` into per-shard pieces.
+
+        ``cuts`` has ``num_shards + 1`` entries; piece ``k`` covers the
+        half-open index range ``[cuts[k], cuts[k+1])``.  Empty pieces are
+        ``None``; the non-``None`` pieces partition the elements falling
+        inside ``[cuts[0], cuts[-1])``.
+        """
+        return [
+            self.clip(int(cuts[k]), int(cuts[k + 1]) - 1)
+            for k in range(len(cuts) - 1)
+        ]
 
     # -- overlap tests -------------------------------------------------------------
     def overlaps(self, other: "IntervalSet") -> bool:

@@ -145,17 +145,32 @@ class WeightedRoundRobin(ReadyQueuePolicy):
         queue.append(item)
 
     def pop(self) -> Any:
-        for _ in range(len(self._order)):
+        # Drained keys are *removed* from the rotation, not skipped: a
+        # long-lived executor sees tenants come and go, and retaining every
+        # key ever pushed would grow _order/_queues without bound.
+        while self._order:
             key = self._order[self._cursor]
             queue = self._queues[key]
-            if queue:
-                item = queue.popleft()
-                self._served += 1
-                if self._served >= self.weight(key) or not queue:
-                    self._advance()
-                return item
-            self._advance()
+            if not queue:
+                self._remove_current()
+                continue
+            item = queue.popleft()
+            self._served += 1
+            if not queue:
+                self._remove_current()
+            elif self._served >= self.weight(key):
+                self._advance()
+            return item
         raise IndexError("pop from an empty ready queue")
+
+    def _remove_current(self) -> None:
+        """Drop the drained key under the cursor; the cursor then points at
+        the next key in rotation (or wraps), with its turn starting fresh."""
+        key = self._order.pop(self._cursor)
+        del self._queues[key]
+        if self._cursor >= len(self._order):
+            self._cursor = 0
+        self._served = 0
 
     def _advance(self) -> None:
         self._cursor = (self._cursor + 1) % len(self._order)

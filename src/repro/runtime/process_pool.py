@@ -126,6 +126,13 @@ class _WorkerState:
         #: task_key -> (loop entry, gbl snapshot, staged merge closure)
         self.staged: dict[int, tuple[_WorkerLoop, Sequence, Callable[[], None]]] = {}
         self.segments: list[Any] = []
+        #: sharded engine only: dat_id -> family declaration spec (all shard
+        #: segment names), plus lazily attached peer-shard views
+        self.peer_specs: dict[int, dict] = {}
+        self.peer_views: dict[tuple[int, int], np.ndarray] = {}
+        #: guards the peer caches: the compute and merge service threads both
+        #: apply halo entries
+        self.peer_lock = threading.Lock()
 
     def declare(self, specs: Iterable[dict]) -> None:
         from repro.op2 import shm
@@ -139,12 +146,54 @@ class _WorkerState:
                 self.dats[spec["dat_id"]] = shm.attach_dat(
                     spec, self.sets, self.segments
                 )
+                if spec.get("segments"):
+                    with self.peer_lock:
+                        self.peer_specs[spec["dat_id"]] = spec
+                        # Re-adoption replaced the whole segment family:
+                        # views of the old family must never serve halo
+                        # copies again.
+                        for key in [
+                            k for k in self.peer_views if k[0] == spec["dat_id"]
+                        ]:
+                            del self.peer_views[key]
             elif spec["kind"] == "map":
                 self.maps[spec["map_id"]] = shm.attach_map(
                     spec, self.sets, self.segments
                 )
             else:  # pragma: no cover - protocol error
                 raise OP2BackendError(f"unknown declaration kind {spec['kind']!r}")
+
+    def _peer_view(self, dat_id: int, shard: int) -> np.ndarray:
+        """View of another shard's segment for ``dat_id`` (attach on first use)."""
+        key = (dat_id, shard)
+        view = self.peer_views.get(key)
+        if view is None:
+            from repro.op2 import shm
+
+            spec = self.peer_specs[dat_id]
+            segment, view = shm.attach_segment(
+                {**spec, "segment": spec["segments"][shard]}
+            )
+            self.segments.append(segment)
+            self.peer_views[key] = view
+        return view
+
+    def apply_halo(self, entries: Sequence[tuple]) -> None:
+        """Copy halo runs from peer-shard segments into this worker's dats.
+
+        Each entry is ``(dat_id, src_shard, starts, stops)`` with inclusive
+        runs.  The parent's dependency gating guarantees the source runs are
+        committed and that no concurrent fetch targets overlapping runs, so a
+        plain row-slice copy per run is race-free.
+        """
+        if not entries:
+            return
+        with self.peer_lock:
+            for dat_id, src_shard, starts, stops in entries:
+                dst = self.dats[dat_id].data
+                src = self._peer_view(dat_id, src_shard)
+                for lo, hi in zip(starts, stops):
+                    dst[lo : hi + 1] = src[lo : hi + 1]
 
     def register_loop(self, key: str, spec: dict) -> None:
         from repro.op2.access import OP_ID, AccessMode
@@ -233,7 +282,10 @@ class _WorkerState:
         stop: int,
         gbl_values: Sequence,
         prefer_vectorized: bool,
+        halo: Sequence[tuple] = (),
     ) -> None:
+        # Halo runs land before the gather below reads them.
+        self.apply_halo(halo)
         # A chunk-private instance: the merge thread may commit this chunk
         # while the compute thread is already preparing the next one.
         entry = self.loops[loop_key].chunk_instance()
@@ -246,7 +298,13 @@ class _WorkerState:
         )
         self.staged[task_key] = (entry, gbl_values, closure)
 
-    def merge(self, task_key: int) -> Optional[list[tuple[int, np.ndarray]]]:
+    def merge(
+        self, task_key: int, halo: Sequence[tuple] = ()
+    ) -> Optional[list[tuple[int, np.ndarray]]]:
+        # Increment halo runs must carry the latest committed base values, so
+        # they land here -- the merge chain orders this after every earlier
+        # chunk's commit -- not at compute time.
+        self.apply_halo(halo)
         entry, gbl_values, closure = self.staged.pop(task_key)
         self._restore_globals(entry, gbl_values)
         closure()
@@ -273,10 +331,23 @@ def _serve_channel(channel: Any, handlers: dict[str, Callable[..., Any]]) -> Non
             if kind == "exit":
                 channel.send(("ok", None))
                 return
-            handler = handlers.get(kind)
-            if handler is None:
-                raise OP2BackendError(f"unknown worker message {kind!r}")
-            result = handler(*message[1:])
+            if kind == "batch":
+                # Deferred messages ride ahead of the RPC that flushed them:
+                # execute the sub-messages in order, reply once (with the
+                # final sub-message's result -- the flushing RPC's).
+                result = None
+                for sub_message in message[1]:
+                    handler = handlers.get(sub_message[0])
+                    if handler is None:
+                        raise OP2BackendError(
+                            f"unknown worker message {sub_message[0]!r}"
+                        )
+                    result = handler(*sub_message[1:])
+            else:
+                handler = handlers.get(kind)
+                if handler is None:
+                    raise OP2BackendError(f"unknown worker message {kind!r}")
+                result = handler(*message[1:])
         except BaseException as exc:  # noqa: BLE001 - routed to the parent
             tb = traceback.format_exc()
             try:
@@ -331,7 +402,7 @@ def _worker_main(conn: Any, merge_conn: Any) -> None:
 class _WorkerHandle:
     """Parent-side endpoint of one worker process (two RPC channels)."""
 
-    __slots__ = ("process", "conn", "merge_conn", "lock", "merge_lock", "dead")
+    __slots__ = ("process", "conn", "merge_conn", "lock", "merge_lock", "dead", "pending")
 
     def __init__(self, process: Any, conn: Any, merge_conn: Any) -> None:
         self.process = process
@@ -342,6 +413,9 @@ class _WorkerHandle:
         self.lock = threading.Lock()
         self.merge_lock = threading.Lock()
         self.dead = False
+        #: deferred messages (declares/registrations) batched onto the next
+        #: compute-channel RPC instead of paying one round trip each
+        self.pending: list[tuple] = []
 
 
 class ProcessPool:
@@ -428,6 +502,11 @@ class ProcessPool:
         with lock:
             if handle.dead:
                 raise OP2BackendError(f"worker process {index} already died")
+            if not merge and handle.pending:
+                # Flush the worker's deferred messages ahead of this RPC in
+                # one round trip; a failure in any of them surfaces here.
+                message = ("batch", [*handle.pending, message])
+                handle.pending = []
             try:
                 conn.send(message)
                 status, *payload = conn.recv()
@@ -448,6 +527,19 @@ class ProcessPool:
         """Synchronously deliver ``message`` to every worker."""
         for index in range(self._num_workers):
             self._call(index, message)
+
+    def queue_message(self, index: int, message: tuple) -> None:
+        """Defer ``message`` to worker ``index``: it rides ahead of the next
+        compute-channel RPC as part of a batch instead of paying its own
+        round trip.  Errors it raises surface on that flushing RPC."""
+        handle = self._workers[index]
+        with handle.lock:
+            handle.pending.append(message)
+
+    def queue_broadcast(self, message: tuple) -> None:
+        """Defer ``message`` to every worker (see :meth:`queue_message`)."""
+        for index in range(self._num_workers):
+            self.queue_message(index, message)
 
     # -- submission ---------------------------------------------------------------------
     def submit(
@@ -471,40 +563,59 @@ class ProcessPool:
         deps: Iterable[int] = (),
         after: Optional[int] = None,
         on_deltas: Optional[Callable[[list], None]] = None,
+        worker: Optional[int] = None,
+        halo: Sequence[tuple] = (),
+        merge_halo: Sequence[tuple] = (),
+        extra_merge_deps: Iterable[int] = (),
     ) -> tuple[int, int]:
         """Submit one chunk of a registered loop as compute + chained merge.
 
-        The compute stub leases any idle worker; the merge stub -- gated on
-        the compute stub and ``after`` (the previous chunk's merge) -- targets
-        the *same* worker, where the staged buffers live, and hands any
-        reduction contributions to ``on_deltas`` in deterministic chunk
-        order.  Returns ``(compute_id, merge_id)``.
+        The compute stub leases any idle worker -- or, with ``worker=``, pins
+        the chunk to that shard's process; the merge stub -- gated on the
+        compute stub, ``after`` (the previous chunk's merge) and any
+        ``extra_merge_deps`` -- targets the *same* worker, where the staged
+        buffers live, and hands any reduction contributions to ``on_deltas``
+        in deterministic chunk order.  ``halo`` / ``merge_halo`` entries ride
+        inside the compute / merge RPCs and are applied worker-side before
+        the gather / commit.  Returns ``(compute_id, merge_id)``.
         """
         task_key = next(self._task_keys)
         holder: dict[str, int] = {}
 
         def compute() -> None:
-            index = self._idle.get()
-            try:
+            if worker is None:
+                index = self._idle.get()
+                try:
+                    self._call(
+                        index,
+                        ("compute", task_key, loop_key, start, stop, gbl_values,
+                         prefer_vectorized, halo),
+                    )
+                finally:
+                    self._idle.put(index)
+            else:
+                # Pinned chunks bypass the idle lease: the per-channel lock
+                # serialises the shard's computes, and other shards' workers
+                # stay available to their own chunks.
+                index = worker
                 self._call(
                     index,
                     ("compute", task_key, loop_key, start, stop, gbl_values,
-                     prefer_vectorized),
+                     prefer_vectorized, halo),
                 )
-            finally:
-                self._idle.put(index)
             holder["worker"] = index
 
         def merge() -> None:
             index = holder.pop("worker", None)
             if index is None:  # compute was skipped (poisoned pool)
                 return
-            deltas = self._call(index, ("merge", task_key), merge=True)
+            deltas = self._call(index, ("merge", task_key, merge_halo), merge=True)
             if deltas and on_deltas is not None:
                 on_deltas(deltas)
 
         compute_id = self._gate.submit(compute, deps=deps)
         merge_deps = [compute_id] if after is None else [compute_id, after]
+        merge_deps.extend(extra_merge_deps)
         merge_id = self._gate.submit(merge, deps=merge_deps)
         return compute_id, merge_id
 
@@ -661,6 +772,18 @@ class ProcessChunkEngine:
             arg.access.value,
         )
 
+    def _declare(self, declarations: list[dict]) -> None:
+        """Deliver fresh dat/map declarations to the workers.
+
+        Synchronous here (registration errors surface at submission time);
+        the sharded subclass defers them into the next batched RPC instead.
+        """
+        self.pool.broadcast(("declare", declarations))
+
+    def _register(self, loop_key: str, spec: dict) -> None:
+        """Deliver one loop-shape registration to the workers."""
+        self.pool.broadcast(("register_loop", loop_key, spec))
+
     def _prepare_loop(self, loop: Any) -> tuple[str, list, Callable[[list], None]]:
         """Adopt/declare the loop's data, register its shape, snapshot globals."""
         from repro.op2.kernel import resolve_kernel
@@ -685,7 +808,7 @@ class ProcessChunkEngine:
                 if spec is not None:
                     declarations.append(spec)
         if declarations:
-            self.pool.broadcast(("declare", declarations))
+            self._declare(declarations)
 
         signature = (
             loop.kernel.name,
@@ -696,9 +819,7 @@ class ProcessChunkEngine:
         if loop_key is None:
             loop_key = f"loop-{len(self._loop_keys)}"
             self._loop_keys[signature] = loop_key
-            self.pool.broadcast(
-                ("register_loop", loop_key, self._loop_spec(loop))
-            )
+            self._register(loop_key, self._loop_spec(loop))
 
         gbl_values = [
             (index, np.array(arg.gbl_data))

@@ -84,31 +84,56 @@ class AdmissionController:
                     )
                 self._cond.wait(remaining)
 
+    def _take_queued(self, tenant: Hashable, transition: str) -> None:
+        """Consume one queued slot, guarding against lifecycle misuse.
+
+        An unguarded decrement would silently drive the counters negative on
+        a double ``finish``/``cancel`` (or a ``cancel`` after ``start``) and
+        mask the runtime bug by *admitting more* than the limits allow.
+        """
+        if self._queued <= 0:
+            raise ServiceError(
+                f"admission {transition} for tenant {tenant!r} without a "
+                f"matching admit: queue counter would underflow"
+            )
+        self._queued -= 1
+
+    def _take_inflight(self, tenant: Hashable, transition: str) -> None:
+        count = self._inflight.get(tenant, 0)
+        if count <= 0:
+            raise ServiceError(
+                f"admission {transition} for tenant {tenant!r} without a "
+                f"matching admit: in-flight counter would underflow"
+            )
+        if count > 1:
+            self._inflight[tenant] = count - 1
+        else:
+            del self._inflight[tenant]
+
     def start(self, tenant: Hashable) -> None:
         """A dispatcher picked the request up: it leaves the bounded queue."""
         with self._cond:
-            self._queued -= 1
+            self._take_queued(tenant, "start")
             self._cond.notify_all()
 
     def finish(self, tenant: Hashable) -> None:
         """The request completed (or failed): it leaves the in-flight count."""
         with self._cond:
-            count = self._inflight.get(tenant, 0) - 1
-            if count > 0:
-                self._inflight[tenant] = count
-            else:
-                self._inflight.pop(tenant, None)
+            self._take_inflight(tenant, "finish")
             self._cond.notify_all()
 
     def cancel(self, tenant: Hashable) -> None:
         """Undo an ``admit`` for a request that will never start."""
         with self._cond:
-            self._queued -= 1
-            count = self._inflight.get(tenant, 0) - 1
-            if count > 0:
-                self._inflight[tenant] = count
-            else:
-                self._inflight.pop(tenant, None)
+            # Validate both counters before touching either, so a bad cancel
+            # (double cancel, cancel after start) leaves consistent state.
+            if self._queued <= 0 or self._inflight.get(tenant, 0) <= 0:
+                raise ServiceError(
+                    f"admission cancel for tenant {tenant!r} without a "
+                    f"matching un-started admit: counters would underflow"
+                )
+            self._take_queued(tenant, "cancel")
+            self._take_inflight(tenant, "cancel")
             self._cond.notify_all()
 
     def snapshot(self) -> dict[str, Any]:

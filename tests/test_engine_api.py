@@ -221,7 +221,7 @@ class TestRegistry:
 
         with pytest.warns(ReproDeprecationWarning):
             modes = context_module.EXECUTION_MODES
-        assert modes == ("simulate", "threads", "processes", "compiled")
+        assert modes == ("simulate", "threads", "processes", "compiled", "sharded")
 
     def test_context_module_rejects_unknown_attribute(self):
         import repro.op2.context as context_module

@@ -522,6 +522,33 @@ class TestReadyQueuePolicies:
         with pytest.raises(IndexError):
             queue.pop()
 
+    def test_weighted_round_robin_prunes_departed_keys(self):
+        """Churning many one-shot tenants must not grow the rotation state:
+        a long-lived service executor would otherwise leak a queue and a
+        rotation slot for every tenant that ever submitted work."""
+        from repro.runtime.policies import WeightedRoundRobin
+
+        queue = WeightedRoundRobin()
+        for n in range(1000):
+            queue.push(f"item{n}", f"tenant{n}")
+            assert queue.pop() == f"item{n}"
+            assert len(queue._order) == 0
+            assert len(queue._queues) == 0
+        # Interleaved churn: a persistent tenant plus one-shot visitors.
+        for n in range(100):
+            queue.push(f"p{n}", "persistent")
+            queue.push(f"v{n}", f"visitor{n}")
+            queue.pop()
+            queue.pop()
+            assert len(queue._order) <= 2
+            assert len(queue._queues) <= 2
+        assert len(queue) == 0
+        # A drained key that returns re-enters the rotation cleanly.
+        queue.push("again", "tenant0")
+        assert queue.pop() == "again"
+        with pytest.raises(IndexError):
+            queue.pop()
+
     def test_executor_fair_dispatch_order(self):
         """With one held worker, queued ready tasks of two groups dispatch
         in round-robin order instead of submission order."""

@@ -180,6 +180,41 @@ class TestAdmissionController:
         assert snap["queued"] == 1
         assert snap["inflight"] == {"a": 1}
 
+    def test_double_finish_raises_instead_of_underflowing(self):
+        """A second finish must fail loudly: silently decrementing below zero
+        would let the tenant exceed its in-flight cap on later admits."""
+        control = AdmissionController(max_queue_depth=4, max_inflight_per_tenant=2)
+        control.admit("a")
+        control.start("a")
+        control.finish("a")
+        with pytest.raises(ServiceError, match="without a matching admit"):
+            control.finish("a")
+        snap = control.snapshot()
+        assert snap["queued"] == 0
+        assert snap["inflight"] == {}
+
+    def test_cancel_after_start_raises(self):
+        """cancel undoes an *un-started* admit; after start the request left
+        the queue, so cancelling would drive the queue counter negative."""
+        control = AdmissionController(max_queue_depth=4, max_inflight_per_tenant=2)
+        control.admit("a")
+        control.start("a")
+        with pytest.raises(ServiceError, match="without a matching un-started admit"):
+            control.cancel("a")
+        # The bad cancel left both counters consistent: finish still works.
+        control.finish("a")
+        snap = control.snapshot()
+        assert snap["queued"] == 0
+        assert snap["inflight"] == {}
+
+    def test_double_cancel_raises(self):
+        control = AdmissionController(max_queue_depth=4, max_inflight_per_tenant=2)
+        control.admit("a")
+        control.cancel("a")
+        with pytest.raises(ServiceError, match="without a matching un-started admit"):
+            control.cancel("a")
+        assert control.snapshot()["queued"] == 0
+
 
 # ---------------------------------------------------------------------------
 # ServiceRuntime

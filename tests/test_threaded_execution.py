@@ -231,7 +231,9 @@ class TestHarness:
             backend="hpx", num_threads=4, workload=self.WORKLOAD
         )
         comparison = run_wallclock_comparison(config)
-        assert set(comparison) == {"simulate", "threads", "processes", "compiled"}
+        assert set(comparison) == {
+            "simulate", "threads", "processes", "compiled", "sharded"
+        }
         for entry in comparison.values():
             assert entry["makespan_seconds"] > 0.0
             assert entry["wall_seconds"] > 0.0
